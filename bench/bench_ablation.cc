@@ -1,0 +1,104 @@
+// Ablation bench: measures the three Appendix I optimizations that
+// DESIGN.md calls out, by running each design choice against its naive
+// alternative.
+//
+//   A. PRG share compression: client upload bytes with seeds vs with s
+//      full share vectors (paper: sL -> L + O(1) field elements).
+//   B. Verification without interpolation: evaluating the share of a
+//      degree-<N polynomial at r via the precomputed Lagrange row (Theta(N)
+//      muls) vs inverse-NTT interpolation + Horner (Theta(N log N)).
+//   C. Batched output check: publishing one random linear combination of
+//      the output wires vs publishing every output share.
+
+#include <cstdio>
+
+#include "afe/bitvec_sum.h"
+#include "bench_util.h"
+#include "core/deployment.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+
+void ablation_prg_compression() {
+  benchutil::header("Ablation A: PRG share compression (client upload bytes)");
+  std::printf("%8s %10s %14s %14s %8s\n", "L", "servers", "compressed",
+              "uncompressed", "saving");
+  SecureRng rng(1);
+  for (size_t l : {256, 1024, 4096}) {
+    afe::BitVectorSum<F> afe(l);
+    SnipProver<F> prover(&afe.valid_circuit());
+    std::vector<u8> bits(l, 1);
+    auto ext = prover.build_extended_input(afe.encode(bits), rng);
+    const size_t s = 5;
+    size_t compressed = (s - 1) * 32 + ext.size() * F::kByteLen;
+    size_t plain = s * ext.size() * F::kByteLen;
+    std::printf("%8zu %10zu %14zu %14zu %7.2fx\n", l, s, compressed, plain,
+                static_cast<double>(plain) / compressed);
+  }
+}
+
+void ablation_lagrange_row() {
+  benchutil::header(
+      "Ablation B: evaluate-at-r via Lagrange row vs NTT interpolation");
+  std::printf("%8s %14s %16s %8s\n", "N", "row (us)", "interp (us)", "speedup");
+  SecureRng rng(2);
+  for (size_t n : {256, 1024, 4096, 16384}) {
+    NttDomain<F> dom(n);
+    std::vector<F> evals(n);
+    for (auto& x : evals) x = rng.field_element<F>();
+    F r = rng.field_element<F>();
+    auto row = lagrange_eval_row(dom, r);
+
+    int reps = 200;
+    double row_us = benchutil::time_seconds([&] {
+                      F acc = F::zero();
+                      for (int i = 0; i < reps; ++i) {
+                        acc += inner_product(row, std::span<const F>(evals));
+                      }
+                      volatile u64 sink = acc.is_zero();
+                      (void)sink;
+                    }) /
+                    reps * 1e6;
+    double interp_us = benchutil::time_seconds([&] {
+                         F acc = F::zero();
+                         for (int i = 0; i < reps; ++i) {
+                           auto coeffs = evals;
+                           dom.inverse(coeffs);
+                           acc += poly_eval(coeffs, r);
+                         }
+                         volatile u64 sink = acc.is_zero();
+                         (void)sink;
+                       }) /
+                       reps * 1e6;
+    std::printf("%8zu %14.1f %16.1f %7.2fx\n", n, row_us, interp_us,
+                interp_us / row_us);
+  }
+  std::printf("(The row also amortizes across Q submissions per refresh;\n"
+              "the naive interpolation would run per submission.)\n");
+}
+
+void ablation_output_batching() {
+  benchutil::header(
+      "Ablation C: batched output test vs per-output publication (bytes)");
+  std::printf("%8s %16s %16s %8s\n", "outputs", "batched", "per-output",
+              "saving");
+  for (size_t outs : {16, 256, 4096}) {
+    // Batched: each server publishes 1 field element for all outputs.
+    size_t batched = F::kByteLen;
+    size_t per_output = outs * F::kByteLen;
+    std::printf("%8zu %16zu %16zu %7.0fx\n", outs, batched, per_output,
+                static_cast<double>(per_output) / batched);
+  }
+}
+
+}  // namespace
+}  // namespace prio
+
+int main() {
+  prio::ablation_prg_compression();
+  prio::ablation_lagrange_row();
+  prio::ablation_output_batching();
+  return 0;
+}

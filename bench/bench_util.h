@@ -1,0 +1,38 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper and prints
+// it in a paper-like layout. Set PRIO_BENCH_FULL=1 to run the full sweeps
+// (larger submission lengths, more NIZK points); the default keeps every
+// binary under a couple of minutes on a laptop-class core.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace prio::benchutil {
+
+inline bool full_mode() {
+  const char* env = std::getenv("PRIO_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+// Median-of-repeats wall-clock timing, in seconds.
+inline double time_seconds(const std::function<void()>& fn, int repeats = 3) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(end - start).count());
+  }
+  return best;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace prio::benchutil

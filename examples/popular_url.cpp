@@ -1,0 +1,72 @@
+// Homepage-hijacking detection (Section 1 + Appendix G): a browser vendor
+// wants the most popular homepage URL across its users -- to spot adware
+// that rewrites homepages -- without learning any individual's homepage.
+//
+// Demonstrates: the most-popular-string AFE (recovers a string held by
+// >50% of clients) and the count-min-sketch AFE for approximate counts of
+// the remaining long-tail URLs.
+
+#include <cstdio>
+#include <string>
+
+#include "afe/countmin.h"
+#include "afe/popular.h"
+#include "core/deployment.h"
+
+using namespace prio;
+
+namespace {
+// Toy "URL" universe: hash a string to a 32-bit id.
+u64 url_id(const std::string& url) {
+  u64 h = 1469598103934665603ull;
+  for (char c : url) h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+  return h & 0xFFFFFFFF;
+}
+}  // namespace
+
+int main() {
+  using F = Fp64;
+  const std::string kHijacked = "http://evil-search-bar.example";
+  const std::string kNormal1 = "https://www.mozilla.org";
+  const std::string kNormal2 = "https://news.example.org";
+
+  // 32-bit string ids; majority recovery needs >50% popularity.
+  afe::MostPopularString<F> popular(32);
+  PrioDeployment<F, afe::MostPopularString<F>> dep_popular(
+      &popular, {.num_servers = 3});
+
+  // Approximate counts for everything (large universe).
+  afe::CountMinSketch<F> sketch(/*epsilon=*/0.05, /*delta=*/0.01);
+  PrioDeployment<F, afe::CountMinSketch<F>> dep_sketch(&sketch,
+                                                       {.num_servers = 3});
+
+  SecureRng rng(123);
+  size_t n = 150;
+  for (u64 client = 0; client < n; ++client) {
+    // 60% of clients were hijacked by the adware.
+    const std::string& url = (client % 10) < 6 ? kHijacked
+                             : (client % 10) < 8 ? kNormal1
+                                                 : kNormal2;
+    u64 id = url_id(url);
+    dep_popular.process_submission(
+        client, dep_popular.client_upload(id, client, rng));
+    dep_sketch.process_submission(
+        client, dep_sketch.client_upload(id, client, rng));
+  }
+
+  u64 majority = dep_popular.publish();
+  auto counts = dep_sketch.publish();
+
+  bool found = majority == url_id(kHijacked);
+  std::printf("clients                  : %zu\n", n);
+  std::printf("majority homepage id     : %08llx (%s)\n",
+              static_cast<unsigned long long>(majority),
+              found ? "the hijacked URL" : "UNEXPECTED");
+  std::printf("approx count (hijacked)  : %llu (truth 90)\n",
+              static_cast<unsigned long long>(counts.query(url_id(kHijacked))));
+  std::printf("approx count (mozilla)   : %llu (truth 30)\n",
+              static_cast<unsigned long long>(counts.query(url_id(kNormal1))));
+  std::printf("approx count (news site) : %llu (truth 30)\n",
+              static_cast<unsigned long long>(counts.query(url_id(kNormal2))));
+  return found ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Affine-aggregatable encodings (AFEs) -- Section 5 / Appendix F.
+//
+// An AFE for an aggregation function f is a triple (Encode, Valid, Decode):
+//   Encode : D -> F^k        client-side encoding of a data value,
+//   Valid  : F^k -> {0,1}    arithmetic circuit accepting exactly the image
+//                            of Encode (proved via SNIP),
+//   Decode : F^k' -> A       recovers f(x_1..x_n) from the *sum* of the
+//                            first k' components of all encodings.
+//
+// Every AFE class in this directory exposes the same compile-time shape:
+//
+//   using Input = ...;            // D
+//   using Result = ...;           // A
+//   size_t k() const;             // encoding length
+//   size_t k_prime() const;       // aggregated prefix length (k' <= k)
+//   std::vector<F> encode(Input) const;
+//   const Circuit<F>& valid_circuit() const;
+//   Result decode(std::span<const F> sigma, size_t n_clients) const;
+//
+// The Prio pipeline (src/core) is templated on this shape, so every AFE
+// composes with SNIPs, PRG share compression and the server pipeline
+// without further glue.
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "field/field.h"
+
+namespace prio::afe {
+
+template <typename A, typename F>
+concept FieldAfe = requires(const A a, typename A::Input in,
+                            std::span<const typename A::Field> sigma,
+                            size_t n) {
+  typename A::Input;
+  typename A::Result;
+  requires std::same_as<typename A::Field, F>;
+  { a.k() } -> std::convertible_to<size_t>;
+  { a.k_prime() } -> std::convertible_to<size_t>;
+  { a.encode(in) } -> std::convertible_to<std::vector<F>>;
+  { a.valid_circuit() } -> std::convertible_to<const Circuit<F>&>;
+  { a.decode(sigma, n) };
+};
+
+// Shared helper: appends the b-bit binary decomposition of v to `out`.
+template <PrimeField F>
+void append_bits(std::vector<F>& out, u64 v, size_t bits) {
+  for (size_t i = 0; i < bits; ++i) {
+    out.push_back(((v >> i) & 1) ? F::one() : F::zero());
+  }
+}
+
+// Shared circuit fragment: asserts that wires[bit0 .. bit0+bits) are bits
+// and that their weighted sum equals the wire `value`. Costs `bits` mul
+// gates. This is the integer-sum validity check of Section 5.2.
+template <PrimeField F>
+void assert_binary_decomposition(CircuitBuilder<F>& b, u32 value_wire,
+                                 size_t bit0, size_t bits) {
+  using Wire = typename CircuitBuilder<F>::Wire;
+  Wire acc = b.constant(F::zero());
+  F pow = F::one();
+  for (size_t i = 0; i < bits; ++i) {
+    Wire bit = b.input(bit0 + i);
+    b.assert_bit(bit);
+    acc = b.add(acc, b.mul_const(bit, pow));
+    pow = pow + pow;
+  }
+  b.assert_zero(b.sub(acc, value_wire));
+}
+
+}  // namespace prio::afe

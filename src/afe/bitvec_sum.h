@@ -1,0 +1,62 @@
+// Bit-vector sum AFE: each client submits a vector of L zero/one values and
+// the servers sum the vectors component-wise.
+//
+// This is the workload of the paper's throughput evaluation (Figures 4-6:
+// "each client submits a vector of zero/one integers and the servers sum
+// these vectors") and of the anonymous-survey scenarios of §6.2 (one bit
+// per true/false question). Valid checks each component is a bit; Decode
+// returns per-position counts.
+#pragma once
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class BitVectorSum {
+ public:
+  using Field = F;
+  using Input = std::vector<u8>;    // L bits
+  using Result = std::vector<u64>;  // per-position counts
+
+  explicit BitVectorSum(size_t length)
+      : len_(length), circuit_(make_circuit(length)) {
+    require(length >= 1, "BitVectorSum: empty vector");
+  }
+
+  size_t length() const { return len_; }
+  size_t k() const { return len_; }
+  size_t k_prime() const { return len_; }
+
+  std::vector<F> encode(const Input& bits) const {
+    require(bits.size() == len_, "BitVectorSum::encode: arity");
+    std::vector<F> out;
+    out.reserve(len_);
+    for (u8 b : bits) {
+      require(b <= 1, "BitVectorSum::encode: entries must be bits");
+      out.push_back(b ? F::one() : F::zero());
+    }
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t /*n_clients*/) const {
+    require(sigma.size() >= len_, "BitVectorSum::decode: sigma too short");
+    Result out(len_);
+    for (size_t i = 0; i < len_; ++i) out[i] = sigma[i].to_u64();
+    return out;
+  }
+
+ private:
+  static Circuit<F> make_circuit(size_t len) {
+    CircuitBuilder<F> b(len);
+    for (size_t i = 0; i < len; ++i) b.assert_bit(b.input(i));
+    return b.build();
+  }
+
+  size_t len_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

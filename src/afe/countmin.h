@@ -1,0 +1,117 @@
+// Approximate frequency counts over large domains via a count-min sketch
+// (Appendix G, following Melis et al. [92] made robust with SNIPs).
+//
+// Parameters (epsilon, delta): rows = ceil(ln(1/delta)), cols =
+// ceil(e/epsilon). Encode(x) places a one-hot row vector at position
+// hash_i(x) in each of the `rows` sub-vectors; Valid checks each sub-vector
+// is one-hot (bits + row sum == 1), which keeps the circuit small -- a few
+// hundred mul gates for realistic parameters, as §6.2's "Browser
+// statistics" workload (delta = 2^-10, eps = 1/10 and delta = 2^-20,
+// eps = 1/100). Decode(x) returns min_i counter[i][hash_i(x)], an
+// overestimate by at most epsilon*n except with probability ~delta.
+//
+// Hashing: pairwise-independent (a*x + b mod p) mod cols per row, keyed by
+// public per-deployment seeds.
+#pragma once
+
+#include <cmath>
+
+#include "afe/afe.h"
+#include "crypto/chacha20.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class CountMinSketch {
+ public:
+  using Field = F;
+  using Input = u64;  // item from a large universe
+  struct Result {     // query interface over the aggregated sketch
+    std::vector<u64> counters;  // rows * cols, row-major
+    size_t rows, cols;
+    std::vector<u64> hash_a, hash_b;
+
+    u64 query(u64 x) const {
+      u64 best = ~u64{0};
+      for (size_t r = 0; r < rows; ++r) {
+        size_t idx = CountMinSketch::hash(x, hash_a[r], hash_b[r], cols);
+        best = std::min(best, counters[r * cols + idx]);
+      }
+      return best;
+    }
+  };
+
+  CountMinSketch(double epsilon, double delta, u64 hash_seed = 0x70726f)
+      : rows_(static_cast<size_t>(std::ceil(std::log(1.0 / delta)))),
+        cols_(static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon))),
+        circuit_(make_circuit(rows_, cols_)) {
+    require(rows_ >= 1 && cols_ >= 1, "CountMinSketch: bad parameters");
+    // Public pairwise-independent hash keys derived from the seed.
+    std::array<u8, 32> seed{};
+    for (int i = 0; i < 8; ++i) seed[i] = static_cast<u8>(hash_seed >> (8 * i));
+    ChaChaPrg prg(seed);
+    hash_a_.resize(rows_);
+    hash_b_.resize(rows_);
+    for (size_t r = 0; r < rows_; ++r) {
+      hash_a_[r] = prg.next_u64() | 1;  // nonzero multiplier
+      hash_b_[r] = prg.next_u64();
+    }
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t k() const { return rows_ * cols_; }
+  size_t k_prime() const { return rows_ * cols_; }
+
+  static size_t hash(u64 x, u64 a, u64 b, size_t cols) {
+    // Multiply-shift style universal hash on the Mersenne prime 2^61 - 1.
+    constexpr u64 kP61 = (u64{1} << 61) - 1;
+    u128 t = static_cast<u128>(a) * (x % kP61) + b;
+    u64 m = static_cast<u64>(t % kP61);
+    return static_cast<size_t>(m % cols);
+  }
+
+  std::vector<F> encode(Input x) const {
+    std::vector<F> out(k(), F::zero());
+    for (size_t r = 0; r < rows_; ++r) {
+      out[r * cols_ + hash(x, hash_a_[r], hash_b_[r], cols_)] = F::one();
+    }
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t /*n_clients*/) const {
+    require(sigma.size() >= k(), "CountMinSketch::decode: sigma too short");
+    Result res;
+    res.rows = rows_;
+    res.cols = cols_;
+    res.hash_a = hash_a_;
+    res.hash_b = hash_b_;
+    res.counters.resize(k());
+    for (size_t i = 0; i < k(); ++i) res.counters[i] = sigma[i].to_u64();
+    return res;
+  }
+
+ private:
+  static Circuit<F> make_circuit(size_t rows, size_t cols) {
+    CircuitBuilder<F> b(rows * cols);
+    using Wire = typename CircuitBuilder<F>::Wire;
+    for (size_t r = 0; r < rows; ++r) {
+      Wire total = b.constant(F::zero());
+      for (size_t c = 0; c < cols; ++c) {
+        Wire w = b.input(r * cols + c);
+        b.assert_bit(w);
+        total = b.add(total, w);
+      }
+      b.assert_equals(total, F::one());
+    }
+    return b.build();
+  }
+
+  size_t rows_, cols_;
+  std::vector<u64> hash_a_, hash_b_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

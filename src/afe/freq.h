@@ -1,0 +1,63 @@
+// Frequency count AFE (Section 5.2): exact histogram over a small domain
+// D = {0, ..., B-1}.
+//
+// Encode(x) = one-hot vector e_x in F^B. Valid checks every component is a
+// bit and that the components sum to exactly one. Decode is the identity:
+// sigma[i] is the number of clients holding value i. Requires |F| > n.
+// The histogram also yields quantiles etc. (Section 5.2).
+#pragma once
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class FrequencyCount {
+ public:
+  using Field = F;
+  using Input = u64;                // value in [0, B)
+  using Result = std::vector<u64>;  // per-value counts
+
+  explicit FrequencyCount(size_t domain_size)
+      : b_(domain_size), circuit_(make_circuit(domain_size)) {
+    require(domain_size >= 1, "FrequencyCount: empty domain");
+  }
+
+  size_t domain_size() const { return b_; }
+  size_t k() const { return b_; }
+  size_t k_prime() const { return b_; }
+
+  std::vector<F> encode(Input x) const {
+    require(x < b_, "FrequencyCount::encode: value out of domain");
+    std::vector<F> out(b_, F::zero());
+    out[x] = F::one();
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t /*n_clients*/) const {
+    require(sigma.size() >= b_, "FrequencyCount::decode: sigma too short");
+    Result counts(b_);
+    for (size_t i = 0; i < b_; ++i) counts[i] = sigma[i].to_u64();
+    return counts;
+  }
+
+ private:
+  static Circuit<F> make_circuit(size_t b) {
+    CircuitBuilder<F> builder(b);
+    using Wire = typename CircuitBuilder<F>::Wire;
+    Wire total = builder.constant(F::zero());
+    for (size_t i = 0; i < b; ++i) {
+      builder.assert_bit(builder.input(i));
+      total = builder.add(total, builder.input(i));
+    }
+    builder.assert_equals(total, F::one());
+    return builder.build();
+  }
+
+  size_t b_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

@@ -1,0 +1,267 @@
+// GF(2)^lambda XOR-aggregation substrate and the boolean AFE family
+// (Section 5.2): OR, AND, small-range MIN/MAX, approximate MIN/MAX, and set
+// union / intersection.
+//
+// These AFEs work over the field GF(2), where addition is XOR: each client
+// submits a lambda-bit string per boolean, the servers XOR the submissions
+// into their accumulators, and the decoder tests the result against zero.
+// Every bit string is a valid encoding, so Valid is trivially true and no
+// SNIP is needed (the paper notes these AFEs are robust for free).
+#pragma once
+
+#include <vector>
+
+#include "crypto/rng.h"
+#include "util/common.h"
+
+namespace prio::afe {
+
+// Dense bit vector with XOR aggregation.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+
+  bool get(size_t i) const {
+    require(i < bits_, "BitVec::get: out of range");
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void set(size_t i, bool v) {
+    require(i < bits_, "BitVec::set: out of range");
+    u64 mask = u64{1} << (i % 64);
+    if (v) {
+      words_[i / 64] |= mask;
+    } else {
+      words_[i / 64] &= ~mask;
+    }
+  }
+
+  void xor_with(const BitVec& o) {
+    require(o.bits_ == bits_, "BitVec::xor_with: size mismatch");
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  }
+
+  bool range_is_zero(size_t begin, size_t len) const {
+    for (size_t i = begin; i < begin + len; ++i) {
+      if (get(i)) return false;
+    }
+    return true;
+  }
+
+  bool is_zero() const { return range_is_zero(0, bits_); }
+
+  void randomize_range(size_t begin, size_t len, prio::SecureRng& rng) {
+    for (size_t i = begin; i < begin + len; ++i) {
+      set(i, rng.next_u64() & 1);
+    }
+  }
+
+  const std::vector<u64>& words() const { return words_; }
+  size_t byte_size() const { return words_.size() * 8; }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<u64> words_;
+};
+
+// Boolean OR of one bit per client. Encode(0) = 0^lambda, Encode(1) =
+// random lambda bits; XOR-aggregate; decode: nonzero -> true. Failure
+// probability 2^-lambda (all-1 inputs cancelling), per Section 5.2.
+class BoolOr {
+ public:
+  using Input = bool;
+  using Result = bool;
+
+  explicit BoolOr(size_t lambda = 80) : lambda_(lambda) {}
+
+  size_t lambda() const { return lambda_; }
+
+  BitVec encode(Input x, prio::SecureRng& rng) const {
+    BitVec v(lambda_);
+    if (x) v.randomize_range(0, lambda_, rng);
+    return v;
+  }
+
+  Result decode(const BitVec& sigma) const { return !sigma.is_zero(); }
+
+ private:
+  size_t lambda_;
+};
+
+// Boolean AND via De Morgan: encode the *negated* bit as in OR; a zero
+// aggregate means nobody held 0, i.e. AND = true.
+class BoolAnd {
+ public:
+  using Input = bool;
+  using Result = bool;
+
+  explicit BoolAnd(size_t lambda = 80) : lambda_(lambda) {}
+
+  size_t lambda() const { return lambda_; }
+
+  BitVec encode(Input x, prio::SecureRng& rng) const {
+    BitVec v(lambda_);
+    if (!x) v.randomize_range(0, lambda_, rng);
+    return v;
+  }
+
+  Result decode(const BitVec& sigma) const { return sigma.is_zero(); }
+
+ private:
+  size_t lambda_;
+};
+
+// MIN and MAX over {0..B-1} for small B (Section 5.2): the value is written
+// in unary as B boolean positions, each aggregated with the OR encoding.
+// For MAX, position i is "my value >= i"; the maximum is the largest
+// position whose OR is true. For MIN, position i is "my value <= i"; the
+// minimum is the smallest true position.
+class MinMaxSmallRange {
+ public:
+  enum class Mode { kMin, kMax };
+  using Input = u64;
+  using Result = u64;
+
+  MinMaxSmallRange(Mode mode, u64 range, size_t lambda = 80)
+      : mode_(mode), range_(range), lambda_(lambda) {
+    require(range >= 1, "MinMaxSmallRange: empty range");
+  }
+
+  size_t total_bits() const { return range_ * lambda_; }
+
+  BitVec encode(Input x, prio::SecureRng& rng) const {
+    require(x < range_, "MinMaxSmallRange::encode: out of range");
+    BitVec v(total_bits());
+    for (u64 i = 0; i < range_; ++i) {
+      bool flag = mode_ == Mode::kMax ? (x >= i) : (x <= i);
+      if (flag) v.randomize_range(i * lambda_, lambda_, rng);
+    }
+    return v;
+  }
+
+  // Decodes the aggregated vector; n_clients >= 1 assumed.
+  Result decode(const BitVec& sigma) const {
+    if (mode_ == Mode::kMax) {
+      for (u64 i = range_; i-- > 0;) {
+        if (!sigma.range_is_zero(i * lambda_, lambda_)) return i;
+      }
+      return 0;
+    }
+    for (u64 i = 0; i < range_; ++i) {
+      if (!sigma.range_is_zero(i * lambda_, lambda_)) return i;
+    }
+    return range_ - 1;
+  }
+
+ private:
+  Mode mode_;
+  u64 range_;
+  size_t lambda_;
+};
+
+// c-approximate MIN/MAX over a large domain {0..B-1} (Section 5.2): bucket
+// the domain into geometrically growing bins [c^j, c^{j+1}) and run the
+// small-range construction over bin indices. The answer is correct within
+// a multiplicative factor of c.
+class ApproxMinMax {
+ public:
+  using Input = u64;
+  using Result = u64;  // approximate value (bin lower edge)
+
+  ApproxMinMax(MinMaxSmallRange::Mode mode, u64 domain, double c,
+               size_t lambda = 80)
+      : c_(c), domain_(domain), inner_(mode, num_bins(domain, c), lambda) {
+    require(c > 1.0, "ApproxMinMax: approximation factor must exceed 1");
+  }
+
+  static u64 num_bins(u64 domain, double c) {
+    u64 bins = 1;
+    double edge = 1;
+    while (edge < static_cast<double>(domain)) {
+      edge *= c;
+      ++bins;
+    }
+    return bins;
+  }
+
+  u64 bin_of(Input x) const {
+    u64 bin = 0;
+    double edge = 1;
+    while (edge <= static_cast<double>(x)) {
+      edge *= c_;
+      ++bin;
+    }
+    return bin;
+  }
+
+  // Lower edge of a bin; the decoded approximation.
+  u64 bin_floor(u64 bin) const {
+    double edge = 1;
+    for (u64 i = 1; i < bin; ++i) edge *= c_;
+    return bin == 0 ? 0 : static_cast<u64>(edge);
+  }
+
+  size_t total_bits() const { return inner_.total_bits(); }
+
+  BitVec encode(Input x, prio::SecureRng& rng) const {
+    require(x < domain_, "ApproxMinMax::encode: out of range");
+    return inner_.encode(bin_of(x), rng);
+  }
+
+  Result decode(const BitVec& sigma) const {
+    return bin_floor(inner_.decode(sigma));
+  }
+
+ private:
+  double c_;
+  u64 domain_;
+  MinMaxSmallRange inner_;
+};
+
+// Set union / intersection over a universe of B elements (Section 5.2):
+// characteristic vector of booleans, OR for union / AND for intersection.
+class SetAggregate {
+ public:
+  enum class Mode { kUnion, kIntersection };
+  using Input = std::vector<u64>;  // element ids, each < universe
+  using Result = std::vector<u64>;
+
+  SetAggregate(Mode mode, u64 universe, size_t lambda = 80)
+      : mode_(mode), universe_(universe), lambda_(lambda) {}
+
+  size_t total_bits() const { return universe_ * lambda_; }
+
+  BitVec encode(const Input& elems, prio::SecureRng& rng) const {
+    std::vector<bool> member(universe_, false);
+    for (u64 e : elems) {
+      require(e < universe_, "SetAggregate::encode: element out of universe");
+      member[e] = true;
+    }
+    BitVec v(total_bits());
+    for (u64 i = 0; i < universe_; ++i) {
+      bool mark = mode_ == Mode::kUnion ? member[i] : !member[i];
+      if (mark) v.randomize_range(i * lambda_, lambda_, rng);
+    }
+    return v;
+  }
+
+  Result decode(const BitVec& sigma) const {
+    Result out;
+    for (u64 i = 0; i < universe_; ++i) {
+      bool nonzero = !sigma.range_is_zero(i * lambda_, lambda_);
+      bool in_result = mode_ == Mode::kUnion ? nonzero : !nonzero;
+      if (in_result) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  Mode mode_;
+  u64 universe_;
+  size_t lambda_;
+};
+
+}  // namespace prio::afe

@@ -1,0 +1,63 @@
+// Most-popular string AFE (Appendix G, simplified Bassily-Smith): recovers
+// a b-bit string held by more than half of the clients.
+//
+// Encode(x) = the b bits of x as field elements. Valid checks each is a
+// bit. Decode rounds each aggregated bit-counter against n/2: if a string
+// sigma* has popularity > 50%, every bit position decodes to sigma*'s bit.
+// The AFE leaks the per-position popularity counts (it is private w.r.t.
+// the function revealing those b counters).
+#pragma once
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class MostPopularString {
+ public:
+  using Field = F;
+  using Input = u64;   // b-bit string packed into a word
+  using Result = u64;  // the majority string (if one exists)
+
+  explicit MostPopularString(size_t bits)
+      : bits_(bits), circuit_(make_circuit(bits)) {
+    require(bits >= 1 && bits <= 63, "MostPopularString: bits out of range");
+  }
+
+  size_t bits() const { return bits_; }
+  size_t k() const { return bits_; }
+  size_t k_prime() const { return bits_; }
+
+  std::vector<F> encode(Input x) const {
+    require(bits_ == 64 || x < (u64{1} << bits_),
+            "MostPopularString::encode: out of range");
+    std::vector<F> out;
+    out.reserve(bits_);
+    append_bits(out, x, bits_);
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t n_clients) const {
+    require(sigma.size() >= bits_, "MostPopularString::decode: sigma short");
+    u64 out = 0;
+    for (size_t i = 0; i < bits_; ++i) {
+      u64 count = sigma[i].to_u64();
+      if (2 * count > n_clients) out |= u64{1} << i;
+    }
+    return out;
+  }
+
+ private:
+  static Circuit<F> make_circuit(size_t bits) {
+    CircuitBuilder<F> b(bits);
+    for (size_t i = 0; i < bits; ++i) b.assert_bit(b.input(i));
+    return b.build();
+  }
+
+  size_t bits_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

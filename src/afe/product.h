@@ -1,0 +1,63 @@
+// Product / geometric mean AFE (Section 5.2): "computing the product and
+// geometric mean works in exactly the same manner [as sum/mean], except
+// that we encode x using b-bit logarithms."
+//
+// Clients hold positive values represented in log domain as fixed-point
+// base-2 logarithms with `frac_bits` fractional bits; the servers sum the
+// logs (an IntegerSum under the hood) and the decoder exponentiates:
+// product = 2^(sum/scale), geometric mean = 2^(sum/(n*scale)).
+#pragma once
+
+#include <cmath>
+
+#include "afe/sum.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class ProductGeoMean {
+ public:
+  using Field = F;
+  using Input = double;  // positive value; encoded as fixed-point log2
+  struct Result {
+    double product;
+    double geometric_mean;
+  };
+
+  // log_bits: total bits of the fixed-point log encoding (integer +
+  // fractional); frac_bits: fractional resolution.
+  ProductGeoMean(size_t log_bits, size_t frac_bits)
+      : frac_bits_(frac_bits), inner_(log_bits) {
+    require(frac_bits < log_bits, "ProductGeoMean: frac_bits too large");
+  }
+
+  size_t k() const { return inner_.k(); }
+  size_t k_prime() const { return inner_.k_prime(); }
+
+  u64 encode_log(Input x) const {
+    require(x > 0, "ProductGeoMean: values must be positive");
+    double lg = std::log2(x) * static_cast<double>(u64{1} << frac_bits_);
+    require(lg >= 0, "ProductGeoMean: value below representable range");
+    return static_cast<u64>(std::llround(lg));
+  }
+
+  std::vector<F> encode(Input x) const { return inner_.encode(encode_log(x)); }
+
+  const Circuit<F>& valid_circuit() const { return inner_.valid_circuit(); }
+
+  Result decode(std::span<const F> sigma, size_t n_clients) const {
+    require(n_clients > 0, "ProductGeoMean::decode: no clients");
+    double log_sum = static_cast<double>(inner_.decode(sigma, n_clients)) /
+                     static_cast<double>(u64{1} << frac_bits_);
+    Result r;
+    r.product = std::exp2(log_sum);
+    r.geometric_mean = std::exp2(log_sum / static_cast<double>(n_clients));
+    return r;
+  }
+
+ private:
+  size_t frac_bits_;
+  IntegerSum<F> inner_;
+};
+
+}  // namespace prio::afe

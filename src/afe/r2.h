@@ -1,0 +1,110 @@
+// R^2-coefficient AFE for evaluating a *public* linear model on private
+// client data (Appendix G, after Karr et al.).
+//
+// Each client holds (x_1..x_d, y); the public model predicts
+// yhat = m_0 + sum_i m_i x_i. Encode emits (y, Y = y^2, Ystar = (y-yhat)^2,
+// x_1..x_d); Valid checks the two squaring relations (2 mul gates, as the
+// appendix notes) with yhat recomputed inside the circuit from the public
+// coefficients; Decode aggregates the first three components and returns
+//
+//   R^2 = 1 - sum (y - yhat)^2 / (sum y^2 - (sum y)^2 / n).
+//
+// Model coefficients are signed integers in fixed-point; they enter the
+// circuit as public constants.
+#pragma once
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class RSquared {
+ public:
+  using Field = F;
+  struct Input {
+    std::vector<u64> x;
+    u64 y = 0;
+  };
+  using Result = double;
+
+  // coeffs = (m_0, m_1, ..., m_d) as signed fixed-point integers.
+  explicit RSquared(std::vector<i64> coeffs)
+      : coeffs_(std::move(coeffs)),
+        d_(coeffs_.size() - 1),
+        circuit_(make_circuit(coeffs_)) {
+    require(!coeffs_.empty(), "RSquared: need at least an intercept");
+  }
+
+  size_t dims() const { return d_; }
+  size_t k() const { return 3 + d_; }
+  size_t k_prime() const { return 3; }
+
+  std::vector<F> encode(const Input& in) const {
+    require(in.x.size() == d_, "RSquared::encode: feature arity");
+    std::vector<F> out;
+    out.reserve(k());
+    F y = F::from_u64(in.y);
+    F yhat = signed_const(coeffs_[0]);
+    for (size_t i = 0; i < d_; ++i) {
+      yhat += signed_const(coeffs_[i + 1]) * F::from_u64(in.x[i]);
+    }
+    F resid = y - yhat;
+    out.push_back(y);
+    out.push_back(y * y);
+    out.push_back(resid * resid);
+    for (u64 xi : in.x) out.push_back(F::from_u64(xi));
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t n_clients) const {
+    require(sigma.size() >= 3, "RSquared::decode: sigma too short");
+    require(n_clients > 0, "RSquared::decode: no clients");
+    double sum_y = field_to_double(sigma[0]);
+    double sum_y2 = field_to_double(sigma[1]);
+    double sum_resid2 = field_to_double(sigma[2]);
+    double n = static_cast<double>(n_clients);
+    double var_n = sum_y2 - sum_y * sum_y / n;  // n * Var(y)
+    if (var_n <= 0) return 0.0;
+    return 1.0 - sum_resid2 / var_n;
+  }
+
+ private:
+  static F signed_const(i64 v) {
+    return v >= 0 ? F::from_u64(static_cast<u64>(v))
+                  : -F::from_u64(static_cast<u64>(-v));
+  }
+
+  static double field_to_double(const F& v) {
+    if constexpr (requires(const F f) { f.to_u128(); }) {
+      return static_cast<double>(v.to_u128());
+    } else {
+      return static_cast<double>(v.to_u64());
+    }
+  }
+
+  static Circuit<F> make_circuit(const std::vector<i64>& coeffs) {
+    const size_t d = coeffs.size() - 1;
+    CircuitBuilder<F> b(3 + d);
+    using Wire = typename CircuitBuilder<F>::Wire;
+    Wire y = b.input(0);
+    // Y == y^2.
+    b.assert_zero(b.sub(b.mul(y, y), b.input(1)));
+    // yhat = m_0 + sum m_i x_i (affine in the inputs).
+    Wire yhat = b.constant(signed_const(coeffs[0]));
+    for (size_t i = 0; i < d; ++i) {
+      yhat = b.add(yhat, b.mul_const(b.input(3 + i), signed_const(coeffs[i + 1])));
+    }
+    Wire resid = b.sub(y, yhat);
+    // Ystar == (y - yhat)^2.
+    b.assert_zero(b.sub(b.mul(resid, resid), b.input(2)));
+    return b.build();
+  }
+
+  std::vector<i64> coeffs_;
+  size_t d_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

@@ -1,0 +1,85 @@
+// Variance / standard deviation AFE (Section 5.2), via Var(X) =
+// E[X^2] - E[X]^2.
+//
+// Encode(x) = (x, x^2, bits of x) in F^{b+2}. Valid checks the bit
+// decomposition of x and the relation x * x == x^2 (one extra mul gate).
+// Decode uses the first two components: (sum x_i, sum x_i^2).
+// The AFE is f-hat-private where f-hat reveals both mean and variance.
+// Requires |F| > n * 2^(2b).
+#pragma once
+
+#include <cmath>
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+struct MomentStats {
+  double mean = 0;
+  double variance = 0;
+  double stddev = 0;
+};
+
+template <PrimeField F>
+class Variance {
+ public:
+  using Field = F;
+  using Input = u64;
+  using Result = MomentStats;
+
+  explicit Variance(size_t bits) : bits_(bits), circuit_(make_circuit(bits)) {
+    require(bits >= 1 && bits < 31, "Variance: bits out of range");
+  }
+
+  size_t bits() const { return bits_; }
+  size_t k() const { return bits_ + 2; }
+  size_t k_prime() const { return 2; }
+
+  std::vector<F> encode(Input x) const {
+    require(x < (u64{1} << bits_), "Variance::encode: value out of range");
+    std::vector<F> out;
+    out.reserve(k());
+    out.push_back(F::from_u64(x));
+    out.push_back(F::from_u64(x * x));
+    append_bits(out, x, bits_);
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t n_clients) const {
+    require(sigma.size() >= 2, "Variance::decode: sigma too short");
+    require(n_clients > 0, "Variance::decode: no clients");
+    double sum_x = field_to_double(sigma[0]);
+    double sum_x2 = field_to_double(sigma[1]);
+    double n = static_cast<double>(n_clients);
+    MomentStats st;
+    st.mean = sum_x / n;
+    st.variance = sum_x2 / n - st.mean * st.mean;
+    st.stddev = st.variance > 0 ? std::sqrt(st.variance) : 0.0;
+    return st;
+  }
+
+ private:
+  static double field_to_double(const F& v) {
+    if constexpr (requires(const F f) { f.to_u128(); }) {
+      return static_cast<double>(v.to_u128());
+    } else {
+      return static_cast<double>(v.to_u64());
+    }
+  }
+
+  static Circuit<F> make_circuit(size_t bits) {
+    CircuitBuilder<F> b(bits + 2);
+    // Bits recompose x.
+    assert_binary_decomposition(b, b.input(0), 2, bits);
+    // Second component is x^2.
+    b.assert_zero(b.sub(b.mul(b.input(0), b.input(0)), b.input(1)));
+    return b.build();
+  }
+
+  size_t bits_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

@@ -1,0 +1,70 @@
+// Integer sum / arithmetic mean AFE (Section 5.2).
+//
+// Encode(x) = (x, beta_0, ..., beta_{b-1}) in F^{b+1} where the betas are
+// the bits of x. Valid checks each beta is a bit and that the bits
+// recompose x; Decode truncates to the first component, so
+// sigma = x_1 + ... + x_n. Requires |F| > n * 2^b to avoid overflow.
+#pragma once
+
+#include "afe/afe.h"
+
+namespace prio::afe {
+
+template <PrimeField F>
+class IntegerSum {
+ public:
+  using Field = F;
+  using Input = u64;     // 0 <= x < 2^bits
+  using Result = u128;   // sum of all clients' x
+
+  explicit IntegerSum(size_t bits) : bits_(bits), circuit_(make_circuit(bits)) {
+    require(bits >= 1 && bits < 63, "IntegerSum: bits out of range");
+  }
+
+  size_t bits() const { return bits_; }
+  size_t k() const { return bits_ + 1; }
+  size_t k_prime() const { return 1; }
+
+  std::vector<F> encode(Input x) const {
+    require(x < (u64{1} << bits_), "IntegerSum::encode: value out of range");
+    std::vector<F> out;
+    out.reserve(k());
+    out.push_back(F::from_u64(x));
+    append_bits(out, x, bits_);
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t /*n_clients*/) const {
+    require(sigma.size() >= 1, "IntegerSum::decode: empty sigma");
+    return to_uint(sigma[0]);
+  }
+
+  // Arithmetic mean over the same encoding.
+  double decode_mean(std::span<const F> sigma, size_t n_clients) const {
+    require(n_clients > 0, "IntegerSum::decode_mean: no clients");
+    return static_cast<double>(decode(sigma, n_clients)) /
+           static_cast<double>(n_clients);
+  }
+
+ private:
+  static u128 to_uint(const F& v) {
+    if constexpr (requires(const F f) { f.to_u128(); }) {
+      return v.to_u128();
+    } else {
+      return v.to_u64();
+    }
+  }
+
+  static Circuit<F> make_circuit(size_t bits) {
+    CircuitBuilder<F> b(bits + 1);
+    assert_binary_decomposition(b, b.input(0), 1, bits);
+    return b.build();
+  }
+
+  size_t bits_;
+  Circuit<F> circuit_;
+};
+
+}  // namespace prio::afe

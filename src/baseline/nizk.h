@@ -1,0 +1,128 @@
+// NIZK comparison baseline (Section 6): private sums of 0/1 vectors made
+// robust with discrete-log non-interactive zero-knowledge proofs, in the
+// style of Kursawe et al. [86] / PrivEx [56].
+//
+// Per vector component the client produces a Pedersen commitment and a
+// CDS94 OR-proof that it opens to 0 or 1 (~2 group exponentiations per
+// component to prove, ~2 more to verify -- the cost model of Table 2's NIZK
+// column). The proof blob goes to every server; servers split the
+// *verification* work (each checks a 1/s slice, rotating with the client
+// id), which is why the NIZK line also scales flat in Figure 5. Shares of
+// the actual bits ride along exactly as in the no-robustness scheme.
+//
+// SUBSTITUTION NOTE: the paper implements this over OpenSSL NIST P-256; we
+// use the from-scratch secp256k1 group in src/crypto (same 256-bit cost
+// class). We omit the homomorphic share/commitment consistency check of
+// the full Kursawe scheme; its cost is dominated by the per-bit OR proofs
+// that we do implement, so the measured shape is preserved.
+#pragma once
+
+#include "afe/bitvec_sum.h"
+#include "crypto/schnorr_or.h"
+#include "net/simnet.h"
+#include "net/wire.h"
+#include "share/share.h"
+
+namespace prio::baseline {
+
+template <PrimeField F>
+class NizkDeployment {
+ public:
+  NizkDeployment(const afe::BitVectorSum<F>* afe, size_t num_servers,
+                 u64 latency_us = 250)
+      : afe_(afe),
+        num_servers_(num_servers),
+        params_(ec::PedersenParams::instance()),
+        net_(num_servers, latency_us),
+        clocks_(num_servers),
+        accumulators_(num_servers,
+                      std::vector<F>(afe->k_prime(), F::zero())) {}
+
+  net::SimNetwork& network() { return net_; }
+  net::BusyClock& clocks() { return clocks_; }
+  size_t accepted() const { return accepted_; }
+
+  struct Upload {
+    std::vector<std::vector<F>> shares;  // per server
+    std::vector<u8> proof_blob;          // commitments + OR proofs, to all
+  };
+
+  Upload client_upload(const std::vector<u8>& bits, SecureRng& rng) const {
+    require(bits.size() == afe_->length(), "NizkDeployment: arity");
+    Upload up;
+    std::vector<F> encoding = afe_->encode(bits);
+    up.shares = share_vector<F>(std::span<const F>(encoding), num_servers_, rng);
+    net::Writer w;
+    for (u8 b : bits) {
+      auto cb = ec::prove_bit(params_, b, rng);
+      w.raw(cb.commitment.to_bytes());
+      w.raw(cb.proof.to_bytes());
+    }
+    up.proof_blob = w.take();
+    return up;
+  }
+
+  // Size of a per-server upload on the wire (share + full proof blob).
+  size_t upload_bytes_per_server() const {
+    constexpr size_t kPerBit = 33 + ec::BitProof::kSerializedLen;
+    return afe_->length() * (F::kByteLen + kPerBit);
+  }
+
+  bool process_submission(u64 client_id, const Upload& up) {
+    const size_t l = afe_->length();
+    constexpr size_t kPerBit = 33 + ec::BitProof::kSerializedLen;
+    // Each server verifies a rotating 1/s slice of the proofs.
+    bool all_ok = true;
+    for (size_t i = 0; i < num_servers_; ++i) {
+      auto scope = clocks_.measure(i);
+      size_t begin = (client_id + i) % num_servers_;
+      for (size_t bit = begin; bit < l; bit += num_servers_) {
+        std::span<const u8> rec(up.proof_blob.data() + bit * kPerBit, kPerBit);
+        auto commitment = ec::Point::from_bytes(rec.subspan(0, 33));
+        auto proof = ec::BitProof::from_bytes(rec.subspan(33));
+        if (!commitment || !proof ||
+            !ec::verify_bit(params_, *commitment, *proof)) {
+          all_ok = false;
+          break;
+        }
+      }
+      // Each non-leader relays the commitment vector to the leader for the
+      // homomorphic aggregate-consistency check of the Kursawe scheme, then
+      // sends its slice verdict. This is the per-server transfer that grows
+      // linearly with L in Figure 6.
+      if (i != 0) net_.send(i, 0, std::vector<u8>(33 * l + 16));
+      if (i != 0) net_.send(i, 0, std::vector<u8>(1 + 16));
+    }
+    net_.end_round();
+    if (!all_ok) return false;
+    for (size_t i = 0; i < num_servers_; ++i) {
+      auto scope = clocks_.measure(i);
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        accumulators_[i][c] += up.shares[i][c];
+      }
+    }
+    ++accepted_;
+    return true;
+  }
+
+  std::vector<u64> publish() {
+    std::vector<F> sigma(afe_->k_prime(), F::zero());
+    for (size_t i = 0; i < num_servers_; ++i) {
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        sigma[c] += accumulators_[i][c];
+      }
+    }
+    return afe_->decode(sigma, accepted_);
+  }
+
+ private:
+  const afe::BitVectorSum<F>* afe_;
+  size_t num_servers_;
+  const ec::PedersenParams& params_;
+  net::SimNetwork net_;
+  net::BusyClock clocks_;
+  std::vector<std::vector<F>> accumulators_;
+  size_t accepted_ = 0;
+};
+
+}  // namespace prio::baseline

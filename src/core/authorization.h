@@ -1,0 +1,83 @@
+// Client registration and submission authorization (Section 7).
+//
+// The paper's defense against selective DoS and Sybil attacks: the servers
+// keep a list of registered client public keys (e.g. the students enrolled
+// at a university); clients sign their submissions, and the servers count
+// only distinct registered clients toward the publication quorum.
+//
+// Signatures are Schnorr over secp256k1 (crypto/schnorr_sig.h). The signed
+// message binds the client id and a digest of every per-server blob, so a
+// network adversary can neither splice blobs across submissions nor replay
+// a signature on altered ciphertexts.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "crypto/schnorr_sig.h"
+#include "crypto/sha256.h"
+#include "net/wire.h"
+
+namespace prio {
+
+// Digest that the client signs: H(client_id || H(blob_0) || ... ).
+inline std::array<u8, 32> submission_digest(
+    u64 client_id, const std::vector<std::vector<u8>>& blobs) {
+  Sha256 h;
+  u8 cid[8];
+  for (int i = 0; i < 8; ++i) cid[i] = static_cast<u8>(client_id >> (8 * i));
+  h.update(cid);
+  for (const auto& blob : blobs) h.update(Sha256::digest(blob));
+  return h.finalize();
+}
+
+struct AuthorizedUpload {
+  u64 client_id = 0;
+  std::vector<std::vector<u8>> blobs;  // one sealed share per server
+  ec::Signature signature;
+};
+
+// Client side: sign the upload with the registered key.
+inline AuthorizedUpload authorize_upload(u64 client_id,
+                                         std::vector<std::vector<u8>> blobs,
+                                         const ec::SigningKey& key) {
+  AuthorizedUpload up;
+  up.client_id = client_id;
+  up.blobs = std::move(blobs);
+  up.signature = ec::schnorr_sign(key, submission_digest(client_id, up.blobs));
+  return up;
+}
+
+// Server side: the registry of enrolled clients. Each registered client is
+// counted at most once per epoch (double submissions are rejected), which
+// is the per-epoch Sybil defense of Section 7.
+class ClientRegistry {
+ public:
+  void enroll(u64 client_id, const ec::Point& public_key) {
+    registered_[client_id] = public_key;
+  }
+
+  size_t enrolled() const { return registered_.size(); }
+  size_t submitted_this_epoch() const { return seen_.size(); }
+
+  // Verifies registration, freshness (one submission per epoch) and the
+  // signature. On success the client is marked as having submitted.
+  bool authorize(const AuthorizedUpload& up) {
+    auto it = registered_.find(up.client_id);
+    if (it == registered_.end()) return false;          // not enrolled
+    if (seen_.count(up.client_id) != 0) return false;   // duplicate
+    auto digest = submission_digest(up.client_id, up.blobs);
+    if (!ec::schnorr_verify(it->second, digest, up.signature)) return false;
+    seen_.insert(up.client_id);
+    return true;
+  }
+
+  // Starts a new collection epoch: clients may submit again.
+  void new_epoch() { seen_.clear(); }
+
+ private:
+  std::map<u64, ec::Point> registered_;
+  std::set<u64> seen_;
+};
+
+}  // namespace prio

@@ -1,0 +1,302 @@
+// The full Prio pipeline (Section 5.1 "Putting it all together" and
+// Appendix H): Upload -> Validate -> Aggregate -> Publish, over the
+// simulated multi-datacenter network.
+//
+// One PrioDeployment owns s server instances, the SimNetwork connecting
+// them, and per-server busy-time clocks. Clients are stateless helpers that
+// produce sealed uploads. The leader for submission i is server i mod s
+// (Section 6.1's load-balancing: the leader relays the Beaver broadcast, so
+// rotating it spreads the extra traffic evenly and throughput stays flat as
+// servers are added -- Figure 5).
+//
+// Per-submission message flow (SNIP variant):
+//   round 1: every non-leader sends its (d_i, e_i) share to the leader
+//   round 2: the leader broadcasts the sums (d, e)
+//   round 3: every non-leader sends (sigma_i, out_i) to the leader
+//   round 4: the leader broadcasts the accept/reject bit
+// A non-leader therefore transmits a constant ~4 field elements per
+// submission regardless of submission length -- the flat Prio line of
+// Figure 6.
+#pragma once
+
+#include <optional>
+
+#include "afe/afe.h"
+#include "crypto/rng.h"
+#include "net/channel.h"
+#include "net/simnet.h"
+#include "net/wire.h"
+#include "snip/snip.h"
+
+namespace prio {
+
+struct DeploymentOptions {
+  size_t num_servers = 5;
+  u64 master_seed = 1;          // deployment master secret (tests/benches)
+  u64 latency_us = 250;         // one-way link latency for the simulation
+  size_t refresh_every = 1024;  // resample r after this many submissions
+};
+
+// Client-side upload kinds: PRG seed share or explicit share.
+inline constexpr u8 kShareSeed = 0;
+inline constexpr u8 kShareExplicit = 1;
+
+template <PrimeField F, typename Afe>
+class PrioDeployment {
+ public:
+  PrioDeployment(const Afe* afe, DeploymentOptions opts)
+      : afe_(afe),
+        opts_(opts),
+        prover_(&afe->valid_circuit()),
+        net_(opts.num_servers, opts.latency_us),
+        clocks_(opts.num_servers) {
+    require(opts.num_servers >= 2, "PrioDeployment: need >= 2 servers");
+    master_.resize(32);
+    for (int i = 0; i < 8; ++i) master_[i] = static_cast<u8>(opts.master_seed >> (8 * i));
+    for (size_t i = 0; i < opts.num_servers; ++i) {
+      servers_.push_back(ServerState{
+          VerificationContext<F>(&afe->valid_circuit(), opts.num_servers,
+                                 opts.master_seed ^ 0x5eed),
+          std::vector<F>(afe->k_prime(), F::zero())});
+    }
+  }
+
+  const Afe& afe() const { return *afe_; }
+  net::SimNetwork& network() { return net_; }
+  net::BusyClock& clocks() { return clocks_; }
+  size_t accepted() const { return accepted_; }
+  size_t processed() const { return processed_; }
+
+  // -------------------------------------------------------------------
+  // Client side. Returns one sealed blob per server. Shares 0..s-2 are PRG
+  // seeds; share s-1 is explicit (Appendix I compression).
+  // -------------------------------------------------------------------
+  std::vector<std::vector<u8>> client_upload(const typename Afe::Input& in,
+                                             u64 client_id,
+                                             SecureRng& rng) const {
+    std::vector<F> encoding = afe_->encode(in);
+    std::vector<F> ext = prover_.build_extended_input(encoding, rng);
+    auto cs = share_vector_compressed<F>(ext, opts_.num_servers, rng);
+
+    std::vector<std::vector<u8>> blobs;
+    blobs.reserve(opts_.num_servers);
+    for (size_t j = 0; j < opts_.num_servers; ++j) {
+      net::Writer w;
+      if (j + 1 < opts_.num_servers) {
+        w.u8_(kShareSeed);
+        w.raw(cs.seeds[j]);
+      } else {
+        w.u8_(kShareExplicit);
+        w.field_vector<F>(std::span<const F>(cs.explicit_share));
+      }
+      blobs.push_back(seal_for_server(client_id, j, w.data()));
+    }
+    return blobs;
+  }
+
+  // -------------------------------------------------------------------
+  // Server side: feeds one submission through validation + aggregation.
+  // Returns true iff the servers accepted (and accumulated) it.
+  // -------------------------------------------------------------------
+  bool process_submission(u64 client_id,
+                          const std::vector<std::vector<u8>>& blobs) {
+    require(blobs.size() == opts_.num_servers, "process_submission: blob count");
+    const size_t s = opts_.num_servers;
+    const size_t leader = static_cast<size_t>(client_id % s);
+    const size_t ext_len = prover_.layout().total_len();
+
+    maybe_refresh();
+
+    // Phase 1: every server decrypts, expands, and runs the local check.
+    std::vector<std::optional<SnipLocalState<F>>> states(s);
+    std::vector<std::vector<F>> x_shares(s);
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      auto share = open_share(client_id, i, blobs[i], ext_len);
+      if (!share) continue;  // malformed: server i will vote reject
+      states[i] = snip_local_check(servers_[i].ctx, i,
+                                   std::span<const F>(*share));
+      x_shares[i].assign(share->begin(), share->begin() + afe_->k_prime());
+    }
+
+    bool parse_ok = true;
+    for (const auto& st : states) parse_ok = parse_ok && st.has_value();
+
+    bool accept = false;
+    if (parse_ok) {
+      // Round 1+2: (d, e) to the leader, sums broadcast back.
+      F d = F::zero(), e = F::zero();
+      for (size_t i = 0; i < s; ++i) {
+        net::Writer w;
+        w.field(states[i]->d_share);
+        w.field(states[i]->e_share);
+        if (i != leader) send(i, leader, w.data());
+        d += states[i]->d_share;
+        e += states[i]->e_share;
+      }
+      net_.end_round();
+      broadcast_from(leader, 2 * F::kByteLen);
+      net_.end_round();
+
+      // Round 3: sigma + output shares to the leader.
+      F sigma = F::zero(), out = F::zero();
+      for (size_t i = 0; i < s; ++i) {
+        auto scope = clocks_.measure(i);
+        F sig = snip_sigma_share(servers_[i].ctx, *states[i], d, e);
+        net::Writer w;
+        w.field(sig);
+        w.field(states[i]->out_combo);
+        if (i != leader) send(i, leader, w.data());
+        sigma += sig;
+        out += states[i]->out_combo;
+      }
+      net_.end_round();
+
+      // Round 4: decision broadcast.
+      {
+        auto scope = clocks_.measure(leader);
+        accept = snip_accept(sigma, out);
+      }
+      broadcast_from(leader, 1);
+      net_.end_round();
+    }
+
+    if (accept) {
+      for (size_t i = 0; i < s; ++i) {
+        auto scope = clocks_.measure(i);
+        for (size_t c = 0; c < afe_->k_prime(); ++c) {
+          servers_[i].accumulator[c] += x_shares[i][c];
+        }
+      }
+      ++accepted_;
+    }
+    ++processed_;
+    return accept;
+  }
+
+  // -------------------------------------------------------------------
+  // Publish: servers reveal accumulators; anyone can decode.
+  // -------------------------------------------------------------------
+  typename Afe::Result publish() {
+    std::vector<F> sigma(afe_->k_prime(), F::zero());
+    for (size_t i = 0; i < opts_.num_servers; ++i) {
+      if (i != 0) {
+        net::Writer w;
+        w.field_vector<F>(std::span<const F>(servers_[i].accumulator));
+        send(i, 0, w.data());
+      }
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        sigma[c] += servers_[i].accumulator[c];
+      }
+    }
+    net_.end_round();
+    return afe_->decode(sigma, accepted_);
+  }
+
+  // Publishes only once a quorum of accepted (registered) clients is in --
+  // the paper's defense against selective denial-of-service (Section 7):
+  // without a quorum gate, an adversary who isolates a single honest
+  // client could read that client's value out of the "aggregate".
+  std::optional<typename Afe::Result> publish_if_quorum(size_t min_clients) {
+    if (accepted_ < min_clients) return std::nullopt;
+    return publish();
+  }
+
+  // Publishes with distributed differential-privacy noise (Section 7):
+  // before revealing its accumulator, every server adds an independent
+  // noise share; the published totals carry discrete-Laplace noise and no
+  // server ever sees the un-noised aggregate. NoiseGen must expose
+  // noise_share_field<F>(SecureRng&) (see core/dp.h).
+  template <typename NoiseGen>
+  typename Afe::Result publish_with_noise(const NoiseGen& noise) {
+    for (size_t i = 0; i < opts_.num_servers; ++i) {
+      // Each server's noise randomness is local and secret.
+      SecureRng rng(opts_.master_seed * 0x9e3779b97f4a7c15ull + i + 1);
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        servers_[i].accumulator[c] += noise.template noise_share_field<F>(rng);
+      }
+    }
+    return publish();
+  }
+
+ private:
+  struct ServerState {
+    VerificationContext<F> ctx;
+    std::vector<F> accumulator;
+  };
+
+  void maybe_refresh() {
+    if (processed_ > 0 && processed_ % opts_.refresh_every == 0) {
+      for (auto& srv : servers_) srv.ctx.refresh();
+    }
+  }
+
+  std::array<u8, 32> client_key(u64 client_id, size_t server) const {
+    net::Writer label;
+    label.u64_(client_id);
+    label.u64_(server);
+    auto k = hkdf_sha256(master_, label.data(), {}, 32);
+    std::array<u8, 32> out;
+    std::copy(k.begin(), k.end(), out.begin());
+    return out;
+  }
+
+  std::vector<u8> seal_for_server(u64 client_id, size_t server,
+                                  std::span<const u8> payload) const {
+    std::array<u8, 12> nonce{};
+    // Fresh per (client, submission) in a real deployment; the benches use
+    // one submission per client id.
+    auto key = client_key(client_id, server);
+    return Aead::seal(key, nonce, {}, payload);
+  }
+
+  std::optional<std::vector<F>> open_share(u64 client_id, size_t server,
+                                           std::span<const u8> blob,
+                                           size_t ext_len) {
+    std::array<u8, 12> nonce{};
+    auto key = client_key(client_id, server);
+    auto pt = Aead::open(key, nonce, {}, blob);
+    if (!pt) return std::nullopt;
+    net::Reader r(*pt);
+    u8 kind = r.u8_();
+    if (!r.ok()) return std::nullopt;
+    if (kind == kShareSeed) {
+      if (r.remaining() != 32) return std::nullopt;
+      std::vector<u8> seed = {pt->begin() + 1, pt->end()};
+      return expand_share_seed<F>(seed, ext_len);
+    }
+    if (kind == kShareExplicit) {
+      auto v = r.field_vector<F>();
+      if (!r.ok() || !r.at_end() || v.size() != ext_len) return std::nullopt;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  void send(size_t from, size_t to, std::span<const u8> payload) {
+    // Server-to-server traffic is TLS in the paper; we count the payload
+    // plus AEAD framing overhead.
+    std::vector<u8> framed(payload.begin(), payload.end());
+    framed.resize(framed.size() + net::SecureChannel::kOverhead);
+    net_.send(from, to, std::move(framed));
+  }
+
+  void broadcast_from(size_t from, size_t payload_len) {
+    std::vector<u8> msg(payload_len + net::SecureChannel::kOverhead);
+    for (size_t to = 0; to < opts_.num_servers; ++to) {
+      if (to != from) net_.send(from, to, msg);
+    }
+  }
+
+  const Afe* afe_;
+  DeploymentOptions opts_;
+  SnipProver<F> prover_;
+  net::SimNetwork net_;
+  net::BusyClock clocks_;
+  std::vector<u8> master_;
+  std::vector<ServerState> servers_;
+  size_t accepted_ = 0;
+  size_t processed_ = 0;
+};
+
+}  // namespace prio

@@ -1,0 +1,136 @@
+// Distributed differential-privacy noise (Section 7 "Common attacks").
+//
+// Prio computes exact aggregates; to blunt intersection attacks the paper
+// proposes that the servers jointly add differential-privacy noise before
+// publishing, "in a distributed fashion to ensure that as long as at least
+// one server is honest, no server sees the un-noised aggregate" (citing
+// Dwork et al. [55]).
+//
+// Implementation: the two-sided geometric ("discrete Laplace") mechanism
+// via infinite divisibility. DLap(alpha) -- P[X = k] proportional to
+// alpha^|k| -- is the difference of two Polya(1, alpha) variables, and
+// Polya(r, alpha) is infinitely divisible: the sum of s independent
+// Polya(1/s, alpha) samples. So each server adds
+//
+//     n_i = Polya(1/s, alpha) - Polya(1/s, alpha)
+//
+// to its accumulator, and the published sum carries exactly DLap(alpha)
+// noise with alpha = exp(-epsilon / sensitivity), giving epsilon-DP even
+// when s-1 servers pool their knowledge of their own noise shares.
+// Polya(r, alpha) is sampled as Poisson(Gamma(r, alpha/(1-alpha))).
+#pragma once
+
+#include <cmath>
+
+#include "crypto/rng.h"
+#include "field/field.h"
+
+namespace prio::dp {
+
+// Uniform double in (0, 1).
+inline double uniform01(SecureRng& rng) {
+  // 53 random mantissa bits; never returns exactly 0.
+  return (static_cast<double>(rng.next_u64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+// Standard normal via Box-Muller.
+inline double standard_normal(SecureRng& rng) {
+  double u1 = uniform01(rng);
+  double u2 = uniform01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+// Gamma(shape, scale=1) via Marsaglia-Tsang, with the boost trick for
+// shape < 1.
+inline double gamma_sample(double shape, SecureRng& rng) {
+  require(shape > 0, "gamma_sample: shape must be positive");
+  if (shape < 1.0) {
+    double u = uniform01(rng);
+    return gamma_sample(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = standard_normal(rng);
+    double t = 1.0 + c * x;
+    if (t <= 0) continue;
+    double v = t * t * t;
+    double u = uniform01(rng);
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v;
+    }
+  }
+}
+
+// Poisson(lambda) -- Knuth's method for small lambda, halving recursion
+// for large lambda (sum of two independent Poisson(lambda/2)).
+inline u64 poisson_sample(double lambda, SecureRng& rng) {
+  require(lambda >= 0, "poisson_sample: negative rate");
+  u64 total = 0;
+  while (lambda > 30.0) {
+    // Split: Poisson(a+b) = Poisson(a) + Poisson(b).
+    double half = lambda / 2.0;
+    total += poisson_sample(half, rng);
+    lambda -= half;
+  }
+  double limit = std::exp(-lambda);
+  u64 k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform01(rng);
+  } while (p > limit);
+  return total + (k - 1);
+}
+
+// Polya (negative binomial with real-valued r) via the Gamma-Poisson
+// mixture: Polya(r, alpha) = Poisson(Gamma(r, alpha / (1 - alpha))).
+inline u64 polya_sample(double r, double alpha, SecureRng& rng) {
+  require(alpha > 0 && alpha < 1, "polya_sample: alpha in (0,1)");
+  double mean = gamma_sample(r, rng) * (alpha / (1.0 - alpha));
+  return poisson_sample(mean, rng);
+}
+
+// Per-server noise generator for an epsilon-DP aggregate release.
+class DistributedDiscreteLaplace {
+ public:
+  // sensitivity: max influence of one client on the aggregate component
+  // (1 for counts); num_servers: how many parties split the noise.
+  DistributedDiscreteLaplace(double epsilon, double sensitivity,
+                             size_t num_servers)
+      : alpha_(std::exp(-epsilon / sensitivity)),
+        r_(1.0 / static_cast<double>(num_servers)) {
+    require(epsilon > 0 && sensitivity > 0,
+            "DistributedDiscreteLaplace: bad parameters");
+    require(num_servers >= 1, "DistributedDiscreteLaplace: no servers");
+  }
+
+  double alpha() const { return alpha_; }
+
+  // Variance of the *total* noise (all servers summed): the discrete
+  // Laplace variance 2*alpha / (1-alpha)^2.
+  double total_variance() const {
+    return 2.0 * alpha_ / ((1.0 - alpha_) * (1.0 - alpha_));
+  }
+
+  // One server's additive noise share (signed).
+  i64 noise_share(SecureRng& rng) const {
+    u64 a = polya_sample(r_, alpha_, rng);
+    u64 b = polya_sample(r_, alpha_, rng);
+    return static_cast<i64>(a) - static_cast<i64>(b);
+  }
+
+  // Noise share as a field element (negative values wrap mod p).
+  template <PrimeField F>
+  F noise_share_field(SecureRng& rng) const {
+    i64 v = noise_share(rng);
+    return v >= 0 ? F::from_u64(static_cast<u64>(v))
+                  : -F::from_u64(static_cast<u64>(-v));
+  }
+
+ private:
+  double alpha_;
+  double r_;
+};
+
+}  // namespace prio::dp

@@ -1,0 +1,258 @@
+// The "Prio-MPC" pipeline variant (Section 4.4 / Appendix E): the servers
+// evaluate Valid themselves with Beaver MPC instead of checking a SNIP.
+//
+// Upload: the client sends shares of (encoding x || M Beaver triples), plus
+// a SNIP *over the triple list* proving a_t * b_t = c_t for every t, so
+// that malformed triples cannot break robustness. Validation then runs the
+// circuit across servers: one broadcast round of (d, e) per circuit depth
+// level, Theta(M) field elements of server-to-server traffic per
+// submission -- the growing Prio-MPC curve of Figure 6 (vs. Prio's flat
+// line).
+#pragma once
+
+#include "core/deployment.h"
+#include "snip/mpc.h"
+
+namespace prio {
+
+template <PrimeField F, typename Afe>
+class PrioMpcDeployment {
+ public:
+  PrioMpcDeployment(const Afe* afe, DeploymentOptions opts)
+      : afe_(afe),
+        opts_(opts),
+        triple_circuit_(
+            make_triple_check_circuit<F>(afe->valid_circuit().num_mul_gates())),
+        triple_prover_(&triple_circuit_),
+        net_(opts.num_servers, opts.latency_us),
+        clocks_(opts.num_servers) {
+    require(opts.num_servers >= 2, "PrioMpcDeployment: need >= 2 servers");
+    master_.resize(32);
+    for (int i = 0; i < 8; ++i) master_[i] = static_cast<u8>(opts.master_seed >> (8 * i));
+    for (size_t i = 0; i < opts.num_servers; ++i) {
+      servers_.push_back(ServerState{
+          VerificationContext<F>(&triple_circuit_, opts.num_servers,
+                                 opts.master_seed ^ 0x3e3d),
+          std::vector<F>(afe->k_prime(), F::zero())});
+    }
+  }
+
+  net::SimNetwork& network() { return net_; }
+  net::BusyClock& clocks() { return clocks_; }
+  size_t accepted() const { return accepted_; }
+
+  // Client upload: flat vector [ x-encoding (k) || triple-SNIP extended
+  // input (3M + proof) ], PRG-compressed shares, sealed per server.
+  std::vector<std::vector<u8>> client_upload(const typename Afe::Input& in,
+                                             u64 client_id,
+                                             SecureRng& rng) const {
+    std::vector<F> encoding = afe_->encode(in);
+    std::vector<F> triples =
+        make_beaver_triples<F>(afe_->valid_circuit().num_mul_gates(), rng);
+    std::vector<F> triple_ext = triple_prover_.build_extended_input(triples, rng);
+
+    std::vector<F> flat;
+    flat.reserve(encoding.size() + triple_ext.size());
+    flat.insert(flat.end(), encoding.begin(), encoding.end());
+    flat.insert(flat.end(), triple_ext.begin(), triple_ext.end());
+    auto cs = share_vector_compressed<F>(flat, opts_.num_servers, rng);
+
+    std::vector<std::vector<u8>> blobs;
+    for (size_t j = 0; j < opts_.num_servers; ++j) {
+      net::Writer w;
+      if (j + 1 < opts_.num_servers) {
+        w.u8_(kShareSeed);
+        w.raw(cs.seeds[j]);
+      } else {
+        w.u8_(kShareExplicit);
+        w.field_vector<F>(std::span<const F>(cs.explicit_share));
+      }
+      std::array<u8, 12> nonce{};
+      blobs.push_back(Aead::seal(client_key(client_id, j), nonce, {}, w.data()));
+    }
+    return blobs;
+  }
+
+  bool process_submission(u64 client_id,
+                          const std::vector<std::vector<u8>>& blobs) {
+    const size_t s = opts_.num_servers;
+    const size_t leader = static_cast<size_t>(client_id % s);
+    const size_t k = afe_->k();
+    const size_t m = afe_->valid_circuit().num_mul_gates();
+    const size_t flat_len = k + triple_prover_.layout().total_len();
+
+    // Phase 0: decrypt + expand.
+    std::vector<std::vector<F>> flat(s);
+    bool parse_ok = true;
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      auto share = open_share(client_id, i, blobs[i], flat_len);
+      if (!share) {
+        parse_ok = false;
+        continue;
+      }
+      flat[i] = std::move(*share);
+    }
+    ++processed_;
+    if (!parse_ok) return false;
+
+    // Phase 1: SNIP over the triples (same rounds as the SNIP pipeline).
+    F d = F::zero(), e = F::zero();
+    std::vector<SnipLocalState<F>> states;
+    states.reserve(s);
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      states.push_back(snip_local_check(
+          servers_[i].ctx, i,
+          std::span<const F>(flat[i].data() + k, flat_len - k)));
+      d += states.back().d_share;
+      e += states.back().e_share;
+      if (i != leader) send(i, leader, 2 * F::kByteLen);
+    }
+    net_.end_round();
+    broadcast_from(leader, 2 * F::kByteLen);
+    net_.end_round();
+    F sigma = F::zero(), out = F::zero();
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      sigma += snip_sigma_share(servers_[i].ctx, states[i], d, e);
+      out += states[i].out_combo;
+      if (i != leader) send(i, leader, 2 * F::kByteLen);
+    }
+    net_.end_round();
+    broadcast_from(leader, 1);
+    net_.end_round();
+    if (!snip_accept(sigma, out)) return false;
+
+    // Phase 2: Beaver-MPC evaluation of Valid on the x shares.
+    std::vector<BeaverMpcSession<F>> sessions;
+    sessions.reserve(s);
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      sessions.emplace_back(&afe_->valid_circuit(), s, i,
+                            std::span<const F>(flat[i].data(), k),
+                            std::span<const F>(flat[i].data() + k, 3 * m));
+    }
+    while (!sessions[0].done()) {
+      std::vector<std::pair<F, F>> totals;
+      for (size_t i = 0; i < s; ++i) {
+        auto scope = clocks_.measure(i);
+        auto msgs = sessions[i].round_messages();
+        if (totals.empty()) totals.assign(msgs.size(), {F::zero(), F::zero()});
+        for (size_t j = 0; j < msgs.size(); ++j) {
+          totals[j].first += msgs[j].first;
+          totals[j].second += msgs[j].second;
+        }
+        if (i != leader) send(i, leader, msgs.size() * 2 * F::kByteLen);
+      }
+      net_.end_round();
+      broadcast_from(leader, totals.size() * 2 * F::kByteLen);
+      net_.end_round();
+      for (size_t i = 0; i < s; ++i) {
+        auto scope = clocks_.measure(i);
+        sessions[i].resolve_round(totals);
+      }
+    }
+
+    // Output check: every output wire must sum to zero.
+    const size_t n_out = afe_->valid_circuit().outputs().size();
+    std::vector<F> outs(n_out, F::zero());
+    for (size_t i = 0; i < s; ++i) {
+      auto scope = clocks_.measure(i);
+      auto o = sessions[i].output_shares();
+      for (size_t j = 0; j < n_out; ++j) outs[j] += o[j];
+      if (i != leader) send(i, leader, n_out * F::kByteLen);
+    }
+    net_.end_round();
+    broadcast_from(leader, 1);
+    net_.end_round();
+    bool accept = true;
+    for (const auto& o : outs) accept = accept && o.is_zero();
+
+    if (accept) {
+      for (size_t i = 0; i < s; ++i) {
+        auto scope = clocks_.measure(i);
+        for (size_t c = 0; c < afe_->k_prime(); ++c) {
+          servers_[i].accumulator[c] += flat[i][c];
+        }
+      }
+      ++accepted_;
+    }
+    return accept;
+  }
+
+  typename Afe::Result publish() {
+    std::vector<F> sigma(afe_->k_prime(), F::zero());
+    for (size_t i = 0; i < opts_.num_servers; ++i) {
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        sigma[c] += servers_[i].accumulator[c];
+      }
+      if (i != 0) send(i, 0, afe_->k_prime() * F::kByteLen);
+    }
+    net_.end_round();
+    return afe_->decode(sigma, accepted_);
+  }
+
+ private:
+  struct ServerState {
+    VerificationContext<F> ctx;  // for the triple-check SNIP
+    std::vector<F> accumulator;
+  };
+
+  std::array<u8, 32> client_key(u64 client_id, size_t server) const {
+    net::Writer label;
+    label.u64_(client_id);
+    label.u64_(server);
+    auto kd = hkdf_sha256(master_, label.data(), {}, 32);
+    std::array<u8, 32> out;
+    std::copy(kd.begin(), kd.end(), out.begin());
+    return out;
+  }
+
+  std::optional<std::vector<F>> open_share(u64 client_id, size_t server,
+                                           std::span<const u8> blob,
+                                           size_t flat_len) {
+    std::array<u8, 12> nonce{};
+    auto pt = Aead::open(client_key(client_id, server), nonce, {}, blob);
+    if (!pt) return std::nullopt;
+    net::Reader r(*pt);
+    u8 kind = r.u8_();
+    if (!r.ok()) return std::nullopt;
+    if (kind == kShareSeed) {
+      if (r.remaining() != 32) return std::nullopt;
+      std::vector<u8> seed = {pt->begin() + 1, pt->end()};
+      return expand_share_seed<F>(seed, flat_len);
+    }
+    if (kind == kShareExplicit) {
+      auto v = r.field_vector<F>();
+      if (!r.ok() || !r.at_end() || v.size() != flat_len) return std::nullopt;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  void send(size_t from, size_t to, size_t payload_len) {
+    std::vector<u8> framed(payload_len + net::SecureChannel::kOverhead);
+    net_.send(from, to, std::move(framed));
+  }
+
+  void broadcast_from(size_t from, size_t payload_len) {
+    std::vector<u8> msg(payload_len + net::SecureChannel::kOverhead);
+    for (size_t to = 0; to < opts_.num_servers; ++to) {
+      if (to != from) net_.send(from, to, msg);
+    }
+  }
+
+  const Afe* afe_;
+  DeploymentOptions opts_;
+  Circuit<F> triple_circuit_;
+  SnipProver<F> triple_prover_;
+  net::SimNetwork net_;
+  net::BusyClock clocks_;
+  std::vector<u8> master_;
+  std::vector<ServerState> servers_;
+  size_t accepted_ = 0;
+  size_t processed_ = 0;
+};
+
+}  // namespace prio

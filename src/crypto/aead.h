@@ -1,0 +1,34 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// This is the sealing primitive for client->server submissions (the paper
+// uses NaCl "box"; we use the same AEAD construction with pairwise static
+// keys derived via HKDF — see net/channel.h for the substitution note).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace prio {
+
+class Aead {
+ public:
+  static constexpr size_t kKeyLen = 32;
+  static constexpr size_t kNonceLen = 12;
+  static constexpr size_t kTagLen = 16;
+
+  // Returns ciphertext || 16-byte tag.
+  static std::vector<u8> seal(std::span<const u8> key, std::span<const u8> nonce,
+                              std::span<const u8> aad,
+                              std::span<const u8> plaintext);
+
+  // Returns the plaintext, or nullopt if authentication fails.
+  static std::optional<std::vector<u8>> open(std::span<const u8> key,
+                                             std::span<const u8> nonce,
+                                             std::span<const u8> aad,
+                                             std::span<const u8> ciphertext);
+};
+
+}  // namespace prio

@@ -1,0 +1,106 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace prio {
+namespace {
+
+inline u32 rotl32(u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline u32 load32_le(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
+
+inline void store32_le(u8* p, u32 x) {
+  p[0] = static_cast<u8>(x);
+  p[1] = static_cast<u8>(x >> 8);
+  p[2] = static_cast<u8>(x >> 16);
+  p[3] = static_cast<u8>(x >> 24);
+}
+
+inline void quarter_round(u32& a, u32& b, u32& c, u32& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+void ChaCha20::block(std::span<const u8> key, u32 counter,
+                     std::span<const u8> nonce, std::span<u8> out) {
+  require(key.size() == kKeyLen, "ChaCha20: key must be 32 bytes");
+  require(nonce.size() == kNonceLen, "ChaCha20: nonce must be 12 bytes");
+  require(out.size() == kBlockLen, "ChaCha20: output must be 64 bytes");
+
+  u32 state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.data() + 4 * i);
+
+  u32 x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32_le(out.data() + 4 * i, x[i] + state[i]);
+}
+
+void ChaCha20::xor_stream(std::span<const u8> key, u32 counter,
+                          std::span<const u8> nonce, std::span<u8> data) {
+  u8 ks[kBlockLen];
+  size_t off = 0;
+  while (off < data.size()) {
+    block(key, counter++, nonce, ks);
+    size_t n = std::min(data.size() - off, kBlockLen);
+    for (size_t i = 0; i < n; ++i) data[off + i] ^= ks[i];
+    off += n;
+  }
+}
+
+ChaChaPrg::ChaChaPrg(std::span<const u8> seed32) : pos_(0), counter_(0) {
+  require(seed32.size() == ChaCha20::kKeyLen, "ChaChaPrg: seed must be 32 bytes");
+  std::memcpy(key_.data(), seed32.data(), seed32.size());
+  nonce_.fill(0);
+  refill();
+}
+
+void ChaChaPrg::refill() {
+  ChaCha20::block(key_, counter_++, nonce_, buf_);
+  pos_ = 0;
+}
+
+void ChaChaPrg::fill(std::span<u8> out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == buf_.size()) refill();
+    size_t n = std::min(out.size() - off, buf_.size() - pos_);
+    std::memcpy(out.data() + off, buf_.data() + pos_, n);
+    pos_ += n;
+    off += n;
+  }
+}
+
+u64 ChaChaPrg::next_u64() {
+  u8 buf[8];
+  fill(buf);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace prio

@@ -1,0 +1,54 @@
+// ChaCha20 stream cipher (RFC 8439) and a counter-mode PRG built on it.
+//
+// Prio uses ChaCha20 in two places:
+//  * the PRG share-compression optimization of Appendix I, where s-1 of the
+//    s additive shares are expanded from 32-byte seeds, and
+//  * the ChaCha20-Poly1305 AEAD that seals client->server submissions (our
+//    stand-in for NaCl's "box").
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "util/common.h"
+
+namespace prio {
+
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeyLen = 32;
+  static constexpr size_t kNonceLen = 12;
+  static constexpr size_t kBlockLen = 64;
+
+  // Computes one 64-byte keystream block (RFC 8439 §2.3).
+  static void block(std::span<const u8> key, u32 counter,
+                    std::span<const u8> nonce, std::span<u8> out);
+
+  // XORs `data` in place with the keystream starting at block `counter`.
+  static void xor_stream(std::span<const u8> key, u32 counter,
+                         std::span<const u8> nonce, std::span<u8> data);
+};
+
+// Deterministic expanding PRG: an endless ChaCha20 keystream under a fixed
+// seed. Used to expand secret-share seeds and to derive per-submission
+// randomness; NOT a general-purpose RNG (see SecureRng in rng.h).
+class ChaChaPrg {
+ public:
+  explicit ChaChaPrg(std::span<const u8> seed32);
+
+  // Fills `out` with the next keystream bytes.
+  void fill(std::span<u8> out);
+
+  u64 next_u64();
+
+ private:
+  void refill();
+
+  std::array<u8, ChaCha20::kKeyLen> key_;
+  std::array<u8, ChaCha20::kNonceLen> nonce_;
+  std::array<u8, ChaCha20::kBlockLen> buf_;
+  size_t pos_;
+  u32 counter_;
+};
+
+}  // namespace prio

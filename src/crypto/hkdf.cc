@@ -1,0 +1,58 @@
+#include "crypto/hkdf.h"
+
+#include <cstring>
+
+namespace prio {
+
+std::array<u8, Sha256::kDigestLen> hmac_sha256(std::span<const u8> key,
+                                               std::span<const u8> data) {
+  u8 k[Sha256::kBlockLen] = {0};
+  if (key.size() > Sha256::kBlockLen) {
+    auto d = Sha256::digest(key);
+    std::memcpy(k, d.data(), d.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  u8 ipad[Sha256::kBlockLen], opad[Sha256::kBlockLen];
+  for (size_t i = 0; i < Sha256::kBlockLen; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad).update(data);
+  auto inner_digest = inner.finalize();
+  Sha256 outer;
+  outer.update(opad).update(inner_digest);
+  return outer.finalize();
+}
+
+std::vector<u8> hkdf_sha256(std::span<const u8> salt, std::span<const u8> ikm,
+                            std::span<const u8> info, size_t out_len) {
+  require(out_len <= 255 * Sha256::kDigestLen, "hkdf: output too long");
+  auto prk = hmac_sha256(salt, ikm);
+  std::vector<u8> out;
+  out.reserve(out_len);
+  std::vector<u8> t;
+  u8 counter = 1;
+  while (out.size() < out_len) {
+    std::vector<u8> msg(t);
+    msg.insert(msg.end(), info.begin(), info.end());
+    msg.push_back(counter++);
+    auto block = hmac_sha256(prk, msg);
+    t.assign(block.begin(), block.end());
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+std::array<u8, 32> derive_key32(std::span<const u8> ikm, const std::string& label) {
+  std::span<const u8> info(reinterpret_cast<const u8*>(label.data()),
+                           label.size());
+  auto v = hkdf_sha256({}, ikm, info, 32);
+  std::array<u8, 32> out;
+  std::memcpy(out.data(), v.data(), 32);
+  return out;
+}
+
+}  // namespace prio

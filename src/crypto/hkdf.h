@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869) for key derivation.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/common.h"
+
+namespace prio {
+
+std::array<u8, Sha256::kDigestLen> hmac_sha256(std::span<const u8> key,
+                                               std::span<const u8> data);
+
+// HKDF-Extract then HKDF-Expand; out_len <= 255 * 32.
+std::vector<u8> hkdf_sha256(std::span<const u8> salt, std::span<const u8> ikm,
+                            std::span<const u8> info, size_t out_len);
+
+// Convenience wrapper: derives a 32-byte key labeled by an ASCII string.
+std::array<u8, 32> derive_key32(std::span<const u8> ikm, const std::string& label);
+
+}  // namespace prio

@@ -1,0 +1,44 @@
+#include "crypto/pedersen.h"
+
+#include "crypto/sha256.h"
+
+namespace prio::ec {
+
+Point hash_to_curve(const std::string& label) {
+  for (u32 counter = 0;; ++counter) {
+    Sha256 hasher;
+    hasher.update(std::span<const u8>(
+        reinterpret_cast<const u8*>(label.data()), label.size()));
+    u8 ctr_bytes[4] = {static_cast<u8>(counter >> 24), static_cast<u8>(counter >> 16),
+                       static_cast<u8>(counter >> 8), static_cast<u8>(counter)};
+    hasher.update(ctr_bytes);
+    auto digest = hasher.finalize();
+    U256 xv = U256::from_bytes_be(digest);
+    if (!(xv < Fe::modulus())) continue;
+    Fe x = Fe::from_u256(xv);
+    Fe rhs = x.square() * x + Fe::from_u64(7);
+    auto y = rhs.sqrt();
+    if (!y) continue;
+    // Normalize to the even-y representative for determinism.
+    Fe yv = y->is_odd() ? -*y : *y;
+    auto p = Point::from_affine(x, yv);
+    if (p) return *p;
+  }
+}
+
+PedersenParams::PedersenParams()
+    : g_(Point::generator()),
+      h_(hash_to_curve("prio/pedersen/h/v1")),
+      g_table_(g_),
+      h_table_(h_) {}
+
+const PedersenParams& PedersenParams::instance() {
+  static const PedersenParams kParams;
+  return kParams;
+}
+
+Point PedersenParams::commit(const Scalar& x, const Scalar& r) const {
+  return g_table_.mul(x) + h_table_.mul(r);
+}
+
+}  // namespace prio::ec

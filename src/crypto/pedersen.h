@@ -1,0 +1,38 @@
+// Pedersen commitments over secp256k1, plus the derivation of the second
+// generator h by hash-to-curve (try-and-increment), so nobody knows
+// log_g(h).
+#pragma once
+
+#include "crypto/secp256k1.h"
+
+namespace prio::ec {
+
+class PedersenParams {
+ public:
+  // Constructs the default parameter set: g = secp256k1 generator,
+  // h = hash-to-curve("prio/pedersen/h/v1"). Builds fixed-base tables for
+  // both generators. Expensive; call once and share (see instance()).
+  PedersenParams();
+
+  static const PedersenParams& instance();
+
+  // commit(x, r) = g^x * h^r.
+  Point commit(const Scalar& x, const Scalar& r) const;
+
+  const Point& g() const { return g_; }
+  const Point& h() const { return h_; }
+  const FixedBaseTable& g_table() const { return g_table_; }
+  const FixedBaseTable& h_table() const { return h_table_; }
+
+ private:
+  Point g_;
+  Point h_;
+  FixedBaseTable g_table_;
+  FixedBaseTable h_table_;
+};
+
+// Derives a curve point from a label via try-and-increment on
+// SHA256(label || counter).
+Point hash_to_curve(const std::string& label);
+
+}  // namespace prio::ec

@@ -1,0 +1,38 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "util/common.h"
+
+namespace prio {
+
+class Poly1305 {
+ public:
+  static constexpr size_t kKeyLen = 32;
+  static constexpr size_t kTagLen = 16;
+
+  explicit Poly1305(std::span<const u8> key32);
+
+  Poly1305& update(std::span<const u8> data);
+  std::array<u8, kTagLen> finalize();
+
+  static std::array<u8, kTagLen> mac(std::span<const u8> key32,
+                                     std::span<const u8> data);
+
+ private:
+  void process_block(const u8* block, u32 hibit);
+
+  // Accumulator and key in 26-bit limbs (classic floating-limb layout).
+  u32 r_[5];
+  u32 h_[5];
+  u8 pad_[16];
+  std::array<u8, 16> buf_;
+  size_t buf_len_;
+};
+
+// Constant-time tag comparison.
+bool tags_equal(std::span<const u8> a, std::span<const u8> b);
+
+}  // namespace prio

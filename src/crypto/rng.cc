@@ -1,0 +1,45 @@
+#include "crypto/rng.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace prio {
+namespace {
+
+std::array<u8, 32> seed_from_u64(u64 seed) {
+  std::array<u8, 32> key{};
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<u8>(seed >> (8 * i));
+  // Domain separation so SecureRng(0) differs from an all-zero key stream
+  // used elsewhere.
+  const char* label = "prio/securerng/v1";
+  std::memcpy(key.data() + 8, label, std::min<size_t>(24, strlen(label)));
+  return key;
+}
+
+}  // namespace
+
+SecureRng::SecureRng(u64 seed) : prg_(seed_from_u64(seed)) {}
+
+SecureRng::SecureRng(std::span<const u8> seed32) : prg_(seed32) {}
+
+SecureRng SecureRng::from_os_entropy() {
+  std::array<u8, 32> key{};
+  FILE* f = std::fopen("/dev/urandom", "rb");
+  require(f != nullptr, "SecureRng: cannot open /dev/urandom");
+  size_t n = std::fread(key.data(), 1, key.size(), f);
+  std::fclose(f);
+  require(n == key.size(), "SecureRng: short read from /dev/urandom");
+  return SecureRng(std::span<const u8>(key.data(), key.size()));
+}
+
+u64 SecureRng::next_below(u64 bound) {
+  require(bound > 0, "SecureRng::next_below: bound must be positive");
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  u64 limit = bound * (~u64{0} / bound);
+  for (;;) {
+    u64 v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+}  // namespace prio

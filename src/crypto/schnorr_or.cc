@@ -1,0 +1,134 @@
+#include "crypto/schnorr_or.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace prio::ec {
+namespace {
+
+Scalar random_scalar(prio::SecureRng& rng) {
+  u8 buf[32];
+  for (;;) {
+    rng.fill(buf);
+    U256 v = U256::from_bytes_be(buf);
+    if (v < Scalar::order()) return Scalar::from_u256(v);
+  }
+}
+
+// Fiat-Shamir challenge: wide reduction of SHA256(0||t) || SHA256(1||t).
+Scalar challenge(const Point& c, const Point& a0, const Point& a1) {
+  Sha256 base;
+  static constexpr char kLabel[] = "prio/nizk/bitproof/v1";
+  base.update(std::span<const u8>(reinterpret_cast<const u8*>(kLabel),
+                                  sizeof(kLabel) - 1));
+  base.update(c.to_bytes());
+  base.update(a0.to_bytes());
+  base.update(a1.to_bytes());
+  auto t = base.finalize();
+  u8 wide[64];
+  for (u8 prefix = 0; prefix < 2; ++prefix) {
+    Sha256 h;
+    h.update(std::span<const u8>(&prefix, 1));
+    h.update(t);
+    auto d = h.finalize();
+    std::memcpy(wide + 32 * prefix, d.data(), 32);
+  }
+  return Scalar::from_bytes_wide(wide);
+}
+
+}  // namespace
+
+std::vector<u8> BitProof::to_bytes() const {
+  std::vector<u8> out;
+  out.reserve(kSerializedLen);
+  auto put_point = [&out](const Point& p) {
+    auto b = p.to_bytes();
+    out.insert(out.end(), b.begin(), b.end());
+  };
+  auto put_scalar = [&out](const Scalar& s) {
+    u8 b[32];
+    s.to_u256().to_bytes_be(b);
+    out.insert(out.end(), b, b + 32);
+  };
+  put_point(a0);
+  put_point(a1);
+  put_scalar(c0);
+  put_scalar(c1);
+  put_scalar(s0);
+  put_scalar(s1);
+  return out;
+}
+
+std::optional<BitProof> BitProof::from_bytes(std::span<const u8> in) {
+  if (in.size() != kSerializedLen) return std::nullopt;
+  BitProof p;
+  auto pa0 = Point::from_bytes(in.subspan(0, 33));
+  auto pa1 = Point::from_bytes(in.subspan(33, 33));
+  if (!pa0 || !pa1) return std::nullopt;
+  p.a0 = *pa0;
+  p.a1 = *pa1;
+  auto get_scalar = [&in](size_t off) {
+    return Scalar::from_u256(U256::from_bytes_be(in.subspan(off, 32)));
+  };
+  p.c0 = get_scalar(66);
+  p.c1 = get_scalar(98);
+  p.s0 = get_scalar(130);
+  p.s1 = get_scalar(162);
+  return p;
+}
+
+CommittedBit prove_bit(const PedersenParams& params, int bit,
+                       prio::SecureRng& rng) {
+  prio::require(bit == 0 || bit == 1, "prove_bit: input must be 0 or 1");
+  CommittedBit out;
+  out.blinding = random_scalar(rng);
+  out.commitment = params.commit(Scalar::from_u64(static_cast<u64>(bit)),
+                                 out.blinding);
+
+  // Branch statements: B0 = C (x=0, so C = h^r), B1 = C - g (x=1).
+  Point b0 = out.commitment;
+  Point b1 = out.commitment - params.g();
+
+  int real = bit;
+  Scalar k = random_scalar(rng);
+  Point a_real = params.h_table().mul(k);
+
+  // Simulate the fake branch.
+  Scalar c_fake = random_scalar(rng);
+  Scalar s_fake = random_scalar(rng);
+  const Point& b_fake = (real == 0) ? b1 : b0;
+  Point a_fake = params.h_table().mul(s_fake) - b_fake.mul(c_fake);
+
+  Point a0 = (real == 0) ? a_real : a_fake;
+  Point a1 = (real == 0) ? a_fake : a_real;
+
+  Scalar c = challenge(out.commitment, a0, a1);
+  Scalar c_real = c - c_fake;
+  Scalar s_real = k + c_real * out.blinding;
+
+  out.proof.a0 = a0;
+  out.proof.a1 = a1;
+  out.proof.c0 = (real == 0) ? c_real : c_fake;
+  out.proof.c1 = (real == 0) ? c_fake : c_real;
+  out.proof.s0 = (real == 0) ? s_real : s_fake;
+  out.proof.s1 = (real == 0) ? s_fake : s_real;
+  return out;
+}
+
+bool verify_bit(const PedersenParams& params, const Point& commitment,
+                const BitProof& proof) {
+  Scalar c = challenge(commitment, proof.a0, proof.a1);
+  if (!(proof.c0 + proof.c1 == c)) return false;
+  Point b0 = commitment;
+  Point b1 = commitment - params.g();
+  // h^{s0} == A0 + c0*B0 and h^{s1} == A1 + c1*B1.
+  Point lhs0 = params.h_table().mul(proof.s0);
+  Point rhs0 = proof.a0 + b0.mul(proof.c0);
+  if (!(lhs0 == rhs0)) return false;
+  Point lhs1 = params.h_table().mul(proof.s1);
+  Point rhs1 = proof.a1 + b1.mul(proof.c1);
+  return lhs1 == rhs1;
+}
+
+}  // namespace prio::ec

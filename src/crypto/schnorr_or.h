@@ -1,0 +1,42 @@
+// Non-interactive OR-proof that a Pedersen commitment opens to 0 or 1
+// (Cramer-Damgard-Schoenmakers disjunction + Fiat-Shamir over SHA-256).
+//
+// This is the per-component proof of the NIZK comparison baseline (Section 6
+// of the paper): proving that each entry of a client's vector is a 0/1 value
+// costs the client ~2 "exponentiations" per entry and the servers ~2 more,
+// which is exactly the cost profile the paper attributes to the
+// Kursawe-style "cryptographically verifiable" scheme.
+#pragma once
+
+#include <vector>
+
+#include "crypto/pedersen.h"
+#include "crypto/rng.h"
+
+namespace prio::ec {
+
+// Proof that commitment C = g^x h^r has x in {0,1}.
+struct BitProof {
+  Point a0, a1;       // per-branch announcements
+  Scalar c0, c1;      // branch challenges (c0 + c1 = H(transcript))
+  Scalar s0, s1;      // branch responses
+
+  static constexpr size_t kSerializedLen = 2 * 33 + 4 * 32;
+  std::vector<u8> to_bytes() const;
+  static std::optional<BitProof> from_bytes(std::span<const u8> in);
+};
+
+// Produces (commitment, proof) for a bit with fresh blinding from `rng`.
+struct CommittedBit {
+  Point commitment;
+  Scalar blinding;
+  BitProof proof;
+};
+
+CommittedBit prove_bit(const PedersenParams& params, int bit, prio::SecureRng& rng);
+
+// Verifies the proof against the commitment.
+bool verify_bit(const PedersenParams& params, const Point& commitment,
+                const BitProof& proof);
+
+}  // namespace prio::ec

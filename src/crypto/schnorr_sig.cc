@@ -1,0 +1,89 @@
+#include "crypto/schnorr_sig.h"
+
+#include <cstring>
+
+namespace prio::ec {
+namespace {
+
+Scalar hash_to_scalar(std::initializer_list<std::span<const u8>> parts) {
+  Sha256 base;
+  for (auto p : parts) base.update(p);
+  auto t = base.finalize();
+  u8 wide[64];
+  for (u8 prefix = 0; prefix < 2; ++prefix) {
+    Sha256 h;
+    h.update(std::span<const u8>(&prefix, 1));
+    h.update(t);
+    auto d = h.finalize();
+    std::memcpy(wide + 32 * prefix, d.data(), 32);
+  }
+  return Scalar::from_bytes_wide(wide);
+}
+
+}  // namespace
+
+SigningKey SigningKey::generate(prio::SecureRng& rng) {
+  SigningKey key;
+  u8 buf[32];
+  do {
+    rng.fill(buf);
+    key.secret = Scalar::from_u256(U256::from_bytes_be(buf));
+  } while (key.secret.is_zero());
+  key.public_key = Point::generator().mul(key.secret);
+  return key;
+}
+
+std::vector<u8> Signature::to_bytes() const {
+  std::vector<u8> out;
+  out.reserve(kSerializedLen);
+  auto rb = r.to_bytes();
+  out.insert(out.end(), rb.begin(), rb.end());
+  u8 sb[32];
+  s.to_u256().to_bytes_be(sb);
+  out.insert(out.end(), sb, sb + 32);
+  return out;
+}
+
+std::optional<Signature> Signature::from_bytes(std::span<const u8> in) {
+  if (in.size() != kSerializedLen) return std::nullopt;
+  auto r = Point::from_bytes(in.subspan(0, 33));
+  if (!r) return std::nullopt;
+  Signature sig;
+  sig.r = *r;
+  sig.s = Scalar::from_u256(U256::from_bytes_be(in.subspan(33)));
+  return sig;
+}
+
+Signature schnorr_sign(const SigningKey& key, std::span<const u8> msg) {
+  // Deterministic nonce k = H("nonce" || sk || msg), reduced mod n.
+  u8 sk_bytes[32];
+  key.secret.to_u256().to_bytes_be(sk_bytes);
+  static constexpr char kNonceLabel[] = "prio/schnorr/nonce/v1";
+  Scalar k = hash_to_scalar(
+      {std::span<const u8>(reinterpret_cast<const u8*>(kNonceLabel),
+                           sizeof(kNonceLabel) - 1),
+       std::span<const u8>(sk_bytes, 32), msg});
+  require(!k.is_zero(), "schnorr_sign: degenerate nonce");
+
+  Signature sig;
+  sig.r = Point::generator().mul(k);
+  auto r_bytes = sig.r.to_bytes();
+  auto pk_bytes = key.public_key.to_bytes();
+  Scalar e = hash_to_scalar({std::span<const u8>(r_bytes), std::span<const u8>(pk_bytes), msg});
+  sig.s = k + e * key.secret;
+  return sig;
+}
+
+bool schnorr_verify(const Point& public_key, std::span<const u8> msg,
+                    const Signature& sig) {
+  if (sig.r.is_infinity()) return false;
+  auto r_bytes = sig.r.to_bytes();
+  auto pk_bytes = public_key.to_bytes();
+  Scalar e = hash_to_scalar({std::span<const u8>(r_bytes), std::span<const u8>(pk_bytes), msg});
+  // sG == R + e*P
+  Point lhs = Point::generator().mul(sig.s);
+  Point rhs = sig.r + public_key.mul(e);
+  return lhs == rhs;
+}
+
+}  // namespace prio::ec

@@ -1,0 +1,39 @@
+// Schnorr signatures over secp256k1.
+//
+// Used by the selective-DoS defense of Section 7: Prio clients register
+// public keys and sign their submissions, and the servers publish the
+// aggregate only after a threshold of *registered* clients have submitted
+// valid data. (Without this, a network adversary who isolates one honest
+// client can read that client's value out of the "aggregate".)
+#pragma once
+
+#include "crypto/rng.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace prio::ec {
+
+struct SigningKey {
+  Scalar secret;
+  Point public_key;
+
+  static SigningKey generate(prio::SecureRng& rng);
+};
+
+struct Signature {
+  Point r;   // commitment R = kG
+  Scalar s;  // response s = k + e * sk
+
+  static constexpr size_t kSerializedLen = 33 + 32;
+  std::vector<u8> to_bytes() const;
+  static std::optional<Signature> from_bytes(std::span<const u8> in);
+};
+
+// Deterministic-nonce Schnorr signature (nonce = H(sk || msg), RFC6979
+// style) so a broken RNG cannot leak the key.
+Signature schnorr_sign(const SigningKey& key, std::span<const u8> msg);
+
+bool schnorr_verify(const Point& public_key, std::span<const u8> msg,
+                    const Signature& sig);
+
+}  // namespace prio::ec

@@ -1,0 +1,477 @@
+#include "crypto/secp256k1.h"
+
+#include <cstring>
+
+namespace prio::ec {
+namespace {
+
+// p = 2^256 - 2^32 - 977
+constexpr U256 kP{{0xFFFFFFFEFFFFFC2Full, 0xFFFFFFFFFFFFFFFFull,
+                   0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}};
+// n (group order)
+constexpr U256 kN{{0xBFD25E8CD0364141ull, 0xBAAEDCE6AF48A03Bull,
+                   0xFFFFFFFFFFFFFFFEull, 0xFFFFFFFFFFFFFFFFull}};
+// 2^256 mod p = 2^32 + 977
+constexpr u64 kPComplement = 0x1000003D1ull;
+
+// Generator (SEC2).
+constexpr U256 kGx{{0x59F2815B16F81798ull, 0x029BFCDB2DCE28D9ull,
+                    0x55A06295CE870B07ull, 0x79BE667EF9DCBBACull}};
+constexpr U256 kGy{{0x9C47D08FFB10D4B8ull, 0xFD17B448A6855419ull,
+                    0x5DA4FBFC0E1108A8ull, 0x483ADA7726A3C465ull}};
+
+// ---- generic 256-bit helpers ----
+
+// a + b -> (sum, carry)
+inline u64 add256(const U256& a, const U256& b, U256& out) {
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 t = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    out.w[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  return carry;
+}
+
+// a - b -> (diff, borrow)
+inline u64 sub256(const U256& a, const U256& b, U256& out) {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 t = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    out.w[i] = static_cast<u64>(t);
+    borrow = (t >> 64) ? 1 : 0;
+  }
+  return borrow;
+}
+
+inline bool geq(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] > b.w[i];
+  }
+  return true;
+}
+
+// 4x4 limb schoolbook multiply -> 8 limbs.
+inline void mul256(const U256& a, const U256& b, u64 out[8]) {
+  std::memset(out, 0, 8 * sizeof(u64));
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 t = static_cast<u128>(a.w[i]) * b.w[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(t);
+      carry = static_cast<u64>(t >> 64);
+    }
+    out[i + 4] += carry;
+  }
+}
+
+// Reduce an 8-limb value mod p using 2^256 = C (mod p), C = 2^32 + 977.
+U256 reduce512_p(const u64 in[8]) {
+  // r = lo + hi * C. hi*C is at most 2^256 * 2^33-ish -> 5 limbs.
+  U256 lo{{in[0], in[1], in[2], in[3]}};
+  u64 acc[5] = {0, 0, 0, 0, 0};
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 t = static_cast<u128>(in[4 + i]) * kPComplement + acc[i] + carry;
+    acc[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  acc[4] = carry;
+  // lo += acc[0..3]
+  U256 hi4{{acc[0], acc[1], acc[2], acc[3]}};
+  u64 c1 = add256(lo, hi4, lo);
+  // Fold the remaining (acc[4] + c1) * 2^256 = (acc[4] + c1) * C.
+  u128 extra = static_cast<u128>(acc[4] + c1) * kPComplement;
+  U256 extra256{{static_cast<u64>(extra), static_cast<u64>(extra >> 64), 0, 0}};
+  u64 c2 = add256(lo, extra256, lo);
+  if (c2) {
+    // One more wrap of 2^256 (can only be 1): add C.
+    U256 cval{{kPComplement, 0, 0, 0}};
+    add256(lo, cval, lo);
+  }
+  while (geq(lo, kP)) {
+    U256 tmp;
+    sub256(lo, kP, tmp);
+    lo = tmp;
+  }
+  return lo;
+}
+
+// Reduce an 8-limb (512-bit) value mod an arbitrary 256-bit modulus by
+// binary long division. Slow; used only for scalars.
+U256 reduce512_generic(const u64 in[8], const U256& m) {
+  U256 rem{};
+  for (int i = 511; i >= 0; --i) {
+    // rem = rem << 1 | bit, minus m when it overflows or exceeds m.
+    u64 top = rem.w[3] >> 63;
+    for (int j = 3; j > 0; --j) rem.w[j] = (rem.w[j] << 1) | (rem.w[j - 1] >> 63);
+    rem.w[0] <<= 1;
+    int limb = i / 64, off = i % 64;
+    rem.w[0] |= (in[limb] >> off) & 1;
+    if (top || geq(rem, m)) {
+      U256 tmp;
+      sub256(rem, m, tmp);
+      rem = tmp;
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+// ---- U256 ----
+
+U256 U256::from_bytes_be(std::span<const u8> b) {
+  require(b.size() == 32, "U256::from_bytes_be: need 32 bytes");
+  U256 out{};
+  for (int i = 0; i < 32; ++i) {
+    out.w[3 - i / 8] |= static_cast<u64>(b[i]) << (8 * (7 - i % 8));
+  }
+  return out;
+}
+
+void U256::to_bytes_be(std::span<u8> out) const {
+  require(out.size() >= 32, "U256::to_bytes_be: buffer too small");
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<u8>(w[3 - i / 8] >> (8 * (7 - i % 8)));
+  }
+}
+
+bool operator<(const U256& a, const U256& b) { return !geq(a, b); }
+
+// ---- Fe ----
+
+const U256& Fe::modulus() { return kP; }
+
+Fe Fe::from_u256(const U256& v) {
+  Fe out;
+  out.v_ = v;
+  while (geq(out.v_, kP)) {
+    U256 tmp;
+    sub256(out.v_, kP, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Fe operator+(const Fe& a, const Fe& b) {
+  Fe out;
+  u64 carry = add256(a.v_, b.v_, out.v_);
+  if (carry || geq(out.v_, kP)) {
+    U256 tmp;
+    sub256(out.v_, kP, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Fe operator-(const Fe& a, const Fe& b) {
+  Fe out;
+  u64 borrow = sub256(a.v_, b.v_, out.v_);
+  if (borrow) {
+    U256 tmp;
+    add256(out.v_, kP, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Fe Fe::operator-() const { return Fe::zero() - *this; }
+
+Fe operator*(const Fe& a, const Fe& b) {
+  u64 prod[8];
+  mul256(a.v_, b.v_, prod);
+  Fe out;
+  out.v_ = reduce512_p(prod);
+  return out;
+}
+
+Fe Fe::pow(const U256& e) const {
+  Fe acc = Fe::one();
+  Fe base = *this;
+  for (int i = 0; i < 256; ++i) {
+    if (e.bit(i)) acc = acc * base;
+    base = base.square();
+  }
+  return acc;
+}
+
+Fe Fe::inv() const {
+  require(!is_zero(), "Fe::inv: zero has no inverse");
+  U256 e = kP;
+  U256 two = U256::from_u64(2);
+  U256 exp;
+  sub256(e, two, exp);
+  return pow(exp);
+}
+
+std::optional<Fe> Fe::sqrt() const {
+  // p = 3 (mod 4): candidate = x^((p+1)/4).
+  U256 e = kP;
+  U256 one = U256::from_u64(1);
+  U256 t;
+  add256(e, one, t);  // p+1 (no overflow: p < 2^256 - 1)
+  // divide by 4: shift right twice
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 3; ++i) t.w[i] = (t.w[i] >> 1) | (t.w[i + 1] << 63);
+    t.w[3] >>= 1;
+  }
+  Fe cand = pow(t);
+  if (cand.square() == *this) return cand;
+  return std::nullopt;
+}
+
+// ---- Scalar ----
+
+const U256& Scalar::order() { return kN; }
+
+Scalar Scalar::from_u64(u64 x) { return from_u256(U256::from_u64(x)); }
+
+Scalar Scalar::from_u256(const U256& v) {
+  Scalar out;
+  out.v_ = v;
+  while (geq(out.v_, kN)) {
+    U256 tmp;
+    sub256(out.v_, kN, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Scalar Scalar::from_bytes_wide(std::span<const u8> b64) {
+  require(b64.size() == 64, "Scalar::from_bytes_wide: need 64 bytes");
+  u64 limbs[8] = {0};
+  // big-endian input: byte 0 is the most significant.
+  for (int i = 0; i < 64; ++i) {
+    limbs[7 - i / 8] |= static_cast<u64>(b64[i]) << (8 * (7 - i % 8));
+  }
+  Scalar out;
+  out.v_ = reduce512_generic(limbs, kN);
+  return out;
+}
+
+Scalar operator+(const Scalar& a, const Scalar& b) {
+  Scalar out;
+  u64 carry = add256(a.v_, b.v_, out.v_);
+  if (carry || geq(out.v_, kN)) {
+    U256 tmp;
+    sub256(out.v_, kN, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Scalar operator-(const Scalar& a, const Scalar& b) {
+  Scalar out;
+  u64 borrow = sub256(a.v_, b.v_, out.v_);
+  if (borrow) {
+    U256 tmp;
+    add256(out.v_, kN, tmp);
+    out.v_ = tmp;
+  }
+  return out;
+}
+
+Scalar Scalar::operator-() const { return Scalar::zero() - *this; }
+
+Scalar operator*(const Scalar& a, const Scalar& b) {
+  u64 prod[8];
+  mul256(a.v_, b.v_, prod);
+  Scalar out;
+  out.v_ = reduce512_generic(prod, kN);
+  return out;
+}
+
+// ---- Point ----
+
+Point Point::generator() {
+  Point p;
+  p.x_ = Fe::from_u256(kGx);
+  p.y_ = Fe::from_u256(kGy);
+  p.z_ = Fe::one();
+  p.inf_ = false;
+  return p;
+}
+
+std::optional<Point> Point::from_affine(const Fe& x, const Fe& y) {
+  Fe rhs = x.square() * x + Fe::from_u64(7);
+  if (!(y.square() == rhs)) return std::nullopt;
+  Point p;
+  p.x_ = x;
+  p.y_ = y;
+  p.z_ = Fe::one();
+  p.inf_ = false;
+  return p;
+}
+
+Point Point::dbl() const {
+  if (inf_ || y_.is_zero()) return infinity();
+  opcount::bump_group_add();
+  // dbl-2009-l (a = 0)
+  Fe a = x_.square();
+  Fe b = y_.square();
+  Fe c = b.square();
+  Fe t = (x_ + b).square() - a - c;
+  Fe d = t + t;  // 2*((X+B)^2 - A - C)
+  Fe e = a + a + a;
+  Fe f = e.square();
+  Point out;
+  out.x_ = f - (d + d);
+  Fe c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  out.y_ = e * (d - out.x_) - c8;
+  Fe yz = y_ * z_;
+  out.z_ = yz + yz;
+  out.inf_ = false;
+  return out;
+}
+
+Point operator+(const Point& a, const Point& b) {
+  if (a.inf_) return b;
+  if (b.inf_) return a;
+  opcount::bump_group_add();
+  // add-2007-bl
+  Fe z1z1 = a.z_.square();
+  Fe z2z2 = b.z_.square();
+  Fe u1 = a.x_ * z2z2;
+  Fe u2 = b.x_ * z1z1;
+  Fe s1 = a.y_ * b.z_ * z2z2;
+  Fe s2 = b.y_ * a.z_ * z1z1;
+  Fe h = u2 - u1;
+  if (h.is_zero()) {
+    if (s1 == s2) return a.dbl();
+    return Point::infinity();
+  }
+  Fe hh = (h + h).square();  // I = (2H)^2
+  Fe j = h * hh;
+  Fe r = (s2 - s1);
+  r = r + r;
+  Fe v = u1 * hh;
+  Point out;
+  out.x_ = r.square() - j - (v + v);
+  Fe s1j = s1 * j;
+  out.y_ = r * (v - out.x_) - (s1j + s1j);
+  out.z_ = ((a.z_ + b.z_).square() - z1z1 - z2z2) * h;
+  out.inf_ = out.z_.is_zero();
+  return out;
+}
+
+Point Point::operator-() const {
+  if (inf_) return *this;
+  Point out = *this;
+  out.y_ = -out.y_;
+  return out;
+}
+
+Point Point::mul(const Scalar& k) const {
+  opcount::bump_group_exp();
+  Point acc = infinity();
+  U256 e = k.to_u256();
+  for (int i = 255; i >= 0; --i) {
+    acc = acc.dbl();
+    if (e.bit(i)) acc = acc + *this;
+  }
+  return acc;
+}
+
+Point Point::double_mul(const Scalar& a, const Point& p, const Scalar& b,
+                        const Point& q) {
+  opcount::bump_group_exp();
+  opcount::bump_group_exp();
+  Point sum_pq = p + q;
+  Point acc = infinity();
+  U256 ea = a.to_u256(), eb = b.to_u256();
+  for (int i = 255; i >= 0; --i) {
+    acc = acc.dbl();
+    int ba = ea.bit(i), bb = eb.bit(i);
+    if (ba && bb) {
+      acc = acc + sum_pq;
+    } else if (ba) {
+      acc = acc + p;
+    } else if (bb) {
+      acc = acc + q;
+    }
+  }
+  return acc;
+}
+
+Fe Point::affine_x() const {
+  require(!inf_, "Point::affine_x: point at infinity");
+  Fe zi = z_.inv();
+  return x_ * zi.square();
+}
+
+Fe Point::affine_y() const {
+  require(!inf_, "Point::affine_y: point at infinity");
+  Fe zi = z_.inv();
+  return y_ * zi.square() * zi;
+}
+
+std::array<u8, 33> Point::to_bytes() const {
+  std::array<u8, 33> out{};
+  if (inf_) return out;  // all zeros encodes infinity
+  Fe ax = affine_x();
+  Fe ay = affine_y();
+  out[0] = ay.is_odd() ? 0x03 : 0x02;
+  ax.to_u256().to_bytes_be(std::span<u8>(out.data() + 1, 32));
+  return out;
+}
+
+std::optional<Point> Point::from_bytes(std::span<const u8> b33) {
+  if (b33.size() != 33) return std::nullopt;
+  if (b33[0] == 0) {
+    for (u8 c : b33) {
+      if (c != 0) return std::nullopt;
+    }
+    return Point::infinity();
+  }
+  if (b33[0] != 0x02 && b33[0] != 0x03) return std::nullopt;
+  U256 xv = U256::from_bytes_be(b33.subspan(1));
+  if (geq(xv, kP)) return std::nullopt;
+  Fe x = Fe::from_u256(xv);
+  Fe rhs = x.square() * x + Fe::from_u64(7);
+  auto y = rhs.sqrt();
+  if (!y) return std::nullopt;
+  Fe yv = *y;
+  bool want_odd = b33[0] == 0x03;
+  if (yv.is_odd() != want_odd) yv = -yv;
+  return Point::from_affine(x, yv);
+}
+
+bool operator==(const Point& a, const Point& b) {
+  if (a.inf_ || b.inf_) return a.inf_ == b.inf_;
+  // Cross-multiplied comparison avoids inversions.
+  Fe z1z1 = a.z_.square();
+  Fe z2z2 = b.z_.square();
+  if (!(a.x_ * z2z2 == b.x_ * z1z1)) return false;
+  return a.y_ * b.z_ * z2z2 == b.y_ * a.z_ * z1z1;
+}
+
+// ---- FixedBaseTable ----
+
+FixedBaseTable::FixedBaseTable(const Point& base) {
+  Point window_base = base;
+  for (int w = 0; w < 64; ++w) {
+    Point acc = Point::infinity();
+    for (int d = 0; d < 15; ++d) {
+      acc = acc + window_base;
+      table_[w][d] = acc;
+    }
+    // Advance window base by 2^4.
+    for (int i = 0; i < 4; ++i) window_base = window_base.dbl();
+  }
+}
+
+Point FixedBaseTable::mul(const Scalar& k) const {
+  opcount::bump_group_exp();
+  Point acc = Point::infinity();
+  U256 e = k.to_u256();
+  for (int w = 0; w < 64; ++w) {
+    int digit = static_cast<int>((e.w[w / 16] >> (4 * (w % 16))) & 0xF);
+    if (digit != 0) acc = acc + table_[w][digit - 1];
+  }
+  return acc;
+}
+
+}  // namespace prio::ec

@@ -1,0 +1,154 @@
+// secp256k1 elliptic-curve group, implemented from scratch.
+//
+// This is the group underlying the NIZK comparison baseline (the paper's
+// NIZK implementation uses OpenSSL NIST P-256; any 256-bit prime-order group
+// reproduces the same cost profile of ~1 scalar multiplication per
+// "exponentiation"). Curve: y^2 = x^3 + 7 over F_p,
+//   p = 2^256 - 2^32 - 977,
+// group order
+//   n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141.
+//
+// Field elements are 4x64-bit limbs with the fast special-form reduction
+// 2^256 = 2^32 + 977 (mod p). Points use Jacobian coordinates. Scalar
+// multiplications are counted by the opcount machinery as "group exps" for
+// the Table 2 reproduction.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "field/opcount.h"
+#include "util/common.h"
+
+namespace prio::ec {
+
+// 256-bit value as 4 little-endian 64-bit limbs.
+struct U256 {
+  std::array<u64, 4> w{};
+
+  static U256 from_u64(u64 x) { return U256{{x, 0, 0, 0}}; }
+  static U256 from_bytes_be(std::span<const u8> b);  // 32 bytes, big-endian
+  void to_bytes_be(std::span<u8> out) const;
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  int bit(int i) const { return static_cast<int>((w[i / 64] >> (i % 64)) & 1); }
+
+  friend bool operator==(const U256& a, const U256& b) { return a.w == b.w; }
+  friend bool operator<(const U256& a, const U256& b);
+};
+
+// Field element mod p (curve coordinate field).
+class Fe {
+ public:
+  Fe() = default;
+  static Fe from_u256(const U256& v);  // reduces mod p
+  static Fe from_u64(u64 x) { return from_u256(U256::from_u64(x)); }
+  U256 to_u256() const { return v_; }
+
+  static Fe zero() { return Fe(); }
+  static Fe one() { return from_u64(1); }
+
+  friend Fe operator+(const Fe& a, const Fe& b);
+  friend Fe operator-(const Fe& a, const Fe& b);
+  friend Fe operator*(const Fe& a, const Fe& b);
+  Fe operator-() const;
+  Fe square() const { return *this * *this; }
+  Fe pow(const U256& e) const;
+  Fe inv() const;                 // Fermat
+  std::optional<Fe> sqrt() const;  // p = 3 mod 4: x^((p+1)/4)
+
+  bool is_zero() const { return v_.is_zero(); }
+  bool is_odd() const { return (v_.w[0] & 1) != 0; }
+  friend bool operator==(const Fe& a, const Fe& b) { return a.v_ == b.v_; }
+
+  static const U256& modulus();
+
+ private:
+  U256 v_;  // always fully reduced, < p
+};
+
+// Scalar mod n (group order). Slow generic reduction; scalars are used a
+// handful of times per proof while curve ops dominate.
+class Scalar {
+ public:
+  Scalar() = default;
+  static Scalar from_u64(u64 x);
+  static Scalar from_u256(const U256& v);  // reduces mod n
+  // Reduce a 64-byte (512-bit) big-endian string mod n (Fiat-Shamir output).
+  static Scalar from_bytes_wide(std::span<const u8> b64);
+  U256 to_u256() const { return v_; }
+
+  static Scalar zero() { return Scalar(); }
+  static Scalar one() { return from_u64(1); }
+
+  friend Scalar operator+(const Scalar& a, const Scalar& b);
+  friend Scalar operator-(const Scalar& a, const Scalar& b);
+  friend Scalar operator*(const Scalar& a, const Scalar& b);
+  Scalar operator-() const;
+
+  bool is_zero() const { return v_.is_zero(); }
+  friend bool operator==(const Scalar& a, const Scalar& b) { return a.v_ == b.v_; }
+
+  static const U256& order();
+
+ private:
+  U256 v_;  // always < n
+};
+
+// Curve point in Jacobian coordinates. Z == 0 encodes infinity.
+class Point {
+ public:
+  Point() : inf_(true) {}  // infinity
+
+  static Point generator();
+  static Point infinity() { return Point(); }
+  // Affine constructor; validates that (x, y) is on the curve.
+  static std::optional<Point> from_affine(const Fe& x, const Fe& y);
+
+  bool is_infinity() const { return inf_; }
+
+  Point dbl() const;
+  friend Point operator+(const Point& a, const Point& b);
+  Point operator-() const;
+  friend Point operator-(const Point& a, const Point& b) { return a + (-b); }
+
+  // Scalar multiplication, MSB-first double-and-add (counted as 1 group exp).
+  Point mul(const Scalar& k) const;
+
+  // a*P + b*Q with shared doublings (counted as 2 group exps, like the
+  // paper's accounting of multi-exponentiations).
+  static Point double_mul(const Scalar& a, const Point& p, const Scalar& b,
+                          const Point& q);
+
+  // Affine x/y (normalizes). Requires !is_infinity().
+  Fe affine_x() const;
+  Fe affine_y() const;
+
+  // 33-byte compressed SEC1 encoding (0x02/0x03 || X). Infinity = 33 zeros.
+  std::array<u8, 33> to_bytes() const;
+  static std::optional<Point> from_bytes(std::span<const u8> b33);
+
+  // Equality in the group (compares affine forms).
+  friend bool operator==(const Point& a, const Point& b);
+
+ private:
+  Fe x_, y_, z_;
+  bool inf_;
+};
+
+// Precomputed 4-bit-window fixed-base multiplication table. Used for the
+// generators g and h in the NIZK baseline so that proving is not absurdly
+// slow; still counted as one group exp per multiplication.
+class FixedBaseTable {
+ public:
+  explicit FixedBaseTable(const Point& base);
+  Point mul(const Scalar& k) const;
+
+ private:
+  // table_[w][d-1] = (d << (4w)) * base for d in 1..15, w in 0..63.
+  std::array<std::array<Point, 15>, 64> table_;
+};
+
+}  // namespace prio::ec

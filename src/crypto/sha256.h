@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4). Used for Fiat-Shamir transcript hashing in the NIZK
+// baseline, HKDF key derivation for channels, and hash-to-curve.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace prio {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestLen = 32;
+  static constexpr size_t kBlockLen = 64;
+
+  Sha256();
+
+  Sha256& update(std::span<const u8> data);
+  std::array<u8, kDigestLen> finalize();
+
+  // One-shot convenience.
+  static std::array<u8, kDigestLen> digest(std::span<const u8> data);
+
+ private:
+  void compress(const u8* block);
+
+  std::array<u32, 8> h_;
+  std::array<u8, kBlockLen> buf_;
+  size_t buf_len_;
+  u64 total_len_;
+};
+
+}  // namespace prio

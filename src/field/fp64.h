@@ -1,0 +1,119 @@
+// Fp64: arithmetic in the prime field of order p = 2^64 - 2^32 + 1
+// (the "Goldilocks" prime).
+//
+// This field plays the role of the paper's 87-bit FFT-friendly field: p - 1 =
+// 2^32 * (2^32 - 1), so the multiplicative group contains a subgroup of order
+// 2^32 and radix-2 NTTs of size up to 2^32 are available. The soundness error
+// of a SNIP over this field is (2M+1)/|F| <= 2^-50 for circuits with up to
+// M = 2^13 multiplication gates, and the servers can repeat the polynomial
+// identity test to square it (Section 4.3 of the paper).
+//
+// Elements are stored in canonical form, i.e. as integers in [0, p).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "field/opcount.h"
+#include "util/common.h"
+
+namespace prio {
+
+class Fp64 {
+ public:
+  static constexpr u64 kP = 0xFFFFFFFF00000001ull;  // 2^64 - 2^32 + 1
+  static constexpr int kTwoAdicity = 32;
+  static constexpr u64 kGenerator = 7;  // generates the full group F_p^*
+  static constexpr size_t kByteLen = 8;
+  static constexpr int kBits = 64;
+
+  constexpr Fp64() : v_(0) {}
+
+  // Constructs from an unsigned integer, reducing mod p.
+  static constexpr Fp64 from_u64(u64 x) { return Fp64(x >= kP ? x - kP : x); }
+  static Fp64 from_u128(u128 x) { return Fp64(reduce128(x)); }
+
+  static constexpr Fp64 zero() { return Fp64(0); }
+  static constexpr Fp64 one() { return Fp64(1); }
+
+  // Canonical integer representative in [0, p).
+  constexpr u64 to_u64() const { return v_; }
+
+  friend Fp64 operator+(Fp64 a, Fp64 b) {
+    u64 r = a.v_ + b.v_;
+    // a.v_ + b.v_ < 2p < 2^65 may wrap; 2^64 = p + (2^32 - 1) mod p.
+    if (r < a.v_) r += 0xFFFFFFFFull;
+    if (r >= kP) r -= kP;
+    return Fp64(r);
+  }
+
+  friend Fp64 operator-(Fp64 a, Fp64 b) {
+    u64 r = a.v_ - b.v_;
+    if (a.v_ < b.v_) r += kP;  // wraps mod 2^64 back into [0, p)
+    return Fp64(r);
+  }
+
+  friend Fp64 operator*(Fp64 a, Fp64 b) {
+    opcount::bump_field_mul();
+    return Fp64(reduce128(static_cast<u128>(a.v_) * b.v_));
+  }
+
+  Fp64 operator-() const { return Fp64(v_ == 0 ? 0 : kP - v_); }
+
+  Fp64& operator+=(Fp64 o) { return *this = *this + o; }
+  Fp64& operator-=(Fp64 o) { return *this = *this - o; }
+  Fp64& operator*=(Fp64 o) { return *this = *this * o; }
+
+  friend bool operator==(Fp64 a, Fp64 b) { return a.v_ == b.v_; }
+  friend bool operator!=(Fp64 a, Fp64 b) { return a.v_ != b.v_; }
+
+  bool is_zero() const { return v_ == 0; }
+
+  // Exponentiation by square-and-multiply.
+  Fp64 pow(u64 e) const;
+
+  // Multiplicative inverse; requires *this != 0. Fermat: x^(p-2).
+  Fp64 inv() const;
+
+  // Primitive 2^k-th root of unity, 0 <= k <= 32.
+  static Fp64 root_of_unity(int k);
+
+  // Little-endian canonical encoding.
+  void to_bytes(std::span<u8> out) const;
+  static Fp64 from_bytes(std::span<const u8> in);
+
+  // Uniform field element from 8 bytes of PRG output via rejection sampling
+  // driven by the caller (returns false if the sample must be rejected).
+  static bool from_random_bytes(std::span<const u8> in, Fp64* out);
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Fp64(u64 v) : v_(v) {}
+
+  // Reduces a 128-bit value mod p using 2^64 = 2^32 - 1 and 2^96 = -1 (mod p).
+  static constexpr u64 reduce128(u128 x) {
+    u64 lo = static_cast<u64>(x);
+    u64 hi = static_cast<u64>(x >> 64);
+    u64 hi_hi = hi >> 32;
+    u64 hi_lo = hi & 0xFFFFFFFFull;
+    // x = lo + 2^64*hi_lo + 2^96*hi_hi = lo + (2^32-1)*hi_lo - hi_hi (mod p)
+    u64 t = lo;
+    if (t >= hi_hi) {
+      t -= hi_hi;
+    } else {
+      t = t - hi_hi + kP;  // u64 wraparound lands in [0, p)
+    }
+    u64 s = hi_lo * 0xFFFFFFFFull;  // < 2^64, but may exceed p
+    if (s >= kP) s -= kP;
+    u64 r = t + s;
+    if (r < t) r += 0xFFFFFFFFull;  // fold the 2^64 overflow
+    if (r >= kP) r -= kP;
+    return r;
+  }
+
+  u64 v_;
+};
+
+}  // namespace prio

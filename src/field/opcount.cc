@@ -1,0 +1,3 @@
+#include "field/opcount.h"
+
+// Counters are inline-defined in the header; this TU anchors the library.

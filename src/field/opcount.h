@@ -1,0 +1,62 @@
+// Arithmetic-operation counters used to reproduce Table 2 of the paper
+// (asymptotic comparison of NIZK / SNARK / SNIP costs).
+//
+// Counting is off by default so the hot path pays only a predictable
+// untaken branch. Benchmarks that need operation counts (bench_table2)
+// wrap the measured region in an OpCountScope.
+#pragma once
+
+#include "util/common.h"
+
+namespace prio {
+
+struct OpCounts {
+  u64 field_mul = 0;  // finite-field multiplications (both fields)
+  u64 field_inv = 0;  // field inversions
+  u64 group_exp = 0;  // elliptic-curve scalar multiplications ("exponentiations")
+  u64 group_add = 0;  // elliptic-curve point additions
+
+  OpCounts operator-(const OpCounts& o) const {
+    return {field_mul - o.field_mul, field_inv - o.field_inv,
+            group_exp - o.group_exp, group_add - o.group_add};
+  }
+};
+
+namespace opcount {
+
+// Global counter state. Single-threaded benchmarks only; the library's
+// protocol code itself is single-threaded per server instance.
+inline bool g_enabled = false;
+inline OpCounts g_counts{};
+
+inline void bump_field_mul() {
+  if (g_enabled) [[unlikely]] ++g_counts.field_mul;
+}
+inline void bump_field_inv() {
+  if (g_enabled) [[unlikely]] ++g_counts.field_inv;
+}
+inline void bump_group_exp() {
+  if (g_enabled) [[unlikely]] ++g_counts.group_exp;
+}
+inline void bump_group_add() {
+  if (g_enabled) [[unlikely]] ++g_counts.group_add;
+}
+
+}  // namespace opcount
+
+// RAII scope that enables counting and reports the ops performed inside it.
+class OpCountScope {
+ public:
+  OpCountScope() : start_(opcount::g_counts) { opcount::g_enabled = true; }
+  ~OpCountScope() { opcount::g_enabled = false; }
+
+  OpCountScope(const OpCountScope&) = delete;
+  OpCountScope& operator=(const OpCountScope&) = delete;
+
+  OpCounts delta() const { return opcount::g_counts - start_; }
+
+ private:
+  OpCounts start_;
+};
+
+}  // namespace prio

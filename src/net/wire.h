@@ -1,0 +1,130 @@
+// Endian-safe wire format for Prio protocol messages.
+//
+// Little-endian fixed-width integers, length-prefixed byte strings, and
+// canonical field-element encodings. Reader methods return Status-style
+// failures (malformed client traffic is an expected event, handled on the
+// hot path, not an exception).
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "field/field.h"
+#include "util/common.h"
+
+namespace prio::net {
+
+class Writer {
+ public:
+  void u8_(u8 v) { buf_.push_back(v); }
+  void u16_(u16 v) { put_le(v, 2); }
+  void u32_(u32 v) { put_le(v, 4); }
+  void u64_(u64 v) { put_le(v, 8); }
+
+  void bytes(std::span<const u8> b) {
+    u32_(static_cast<u32>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void raw(std::span<const u8> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  template <PrimeField F>
+  void field(const F& v) {
+    u8 tmp[F::kByteLen];
+    v.to_bytes(tmp);
+    raw(std::span<const u8>(tmp, F::kByteLen));
+  }
+
+  template <PrimeField F>
+  void field_vector(std::span<const F> vs) {
+    u32_(static_cast<u32>(vs.size()));
+    for (const F& v : vs) field(v);
+  }
+
+  const std::vector<u8>& data() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void put_le(u64 v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+
+  std::vector<u8> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  u8 u8_() { return static_cast<u8>(get_le(1)); }
+  u16 u16_() { return static_cast<u16>(get_le(2)); }
+  u32 u32_() { return static_cast<u32>(get_le(4)); }
+  u64 u64_() { return get_le(8); }
+
+  std::vector<u8> bytes() {
+    u32 len = u32_();
+    if (!ok_ || remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<u8> out(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  template <PrimeField F>
+  F field() {
+    if (remaining() < F::kByteLen) {
+      ok_ = false;
+      return F::zero();
+    }
+    // from_bytes throws on non-canonical input; convert to a soft failure.
+    try {
+      F v = F::from_bytes(data_.subspan(pos_, F::kByteLen));
+      pos_ += F::kByteLen;
+      return v;
+    } catch (const std::invalid_argument&) {
+      ok_ = false;
+      return F::zero();
+    }
+  }
+
+  template <PrimeField F>
+  std::vector<F> field_vector(size_t max_len = 1u << 24) {
+    u32 len = u32_();
+    if (!ok_ || len > max_len || remaining() < len * F::kByteLen) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<F> out;
+    out.reserve(len);
+    for (u32 i = 0; i < len && ok_; ++i) out.push_back(field<F>());
+    return out;
+  }
+
+ private:
+  u64 get_le(int n) {
+    if (remaining() < static_cast<size_t>(n)) {
+      ok_ = false;
+      return 0;
+    }
+    u64 v = 0;
+    for (int i = 0; i < n; ++i) v |= static_cast<u64>(data_[pos_ + i]) << (8 * i);
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const u8> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace prio::net

@@ -1,0 +1,112 @@
+// Lagrange evaluation rows over root-of-unity domains.
+//
+// This implements the "verification without interpolation" optimization of
+// Appendix I: for a fixed secret point r, each server precomputes constants
+// (c_0, ..., c_{N-1}) such that for any polynomial P of degree < N given in
+// point-value form on the domain {w^0, ..., w^{N-1}},
+//
+//     P(r) = sum_t c_t * P(w^t).
+//
+// Evaluating a share of P at r is then a single inner product (N field
+// multiplications) instead of an O(N log N) interpolation.
+//
+// Over the domain of N-th roots of unity the barycentric weights have closed
+// form: with Z(x) = x^N - 1 and Z'(w^t) = N * w^{-t},
+//
+//     c_t = Z(r) * w^t / (N * (r - w^t)).
+#pragma once
+
+#include <vector>
+
+#include "poly/ntt.h"
+
+namespace prio {
+
+// Batch inversion (Montgomery's trick): inverts every element of xs using a
+// single field inversion. All inputs must be nonzero.
+template <PrimeField F>
+void batch_invert(std::vector<F>& xs) {
+  if (xs.empty()) return;
+  std::vector<F> prefix(xs.size());
+  F acc = F::one();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    require(!xs[i].is_zero(), "batch_invert: zero element");
+    prefix[i] = acc;
+    acc *= xs[i];
+  }
+  F inv_all = acc.inv();
+  for (size_t i = xs.size(); i-- > 0;) {
+    F orig = xs[i];
+    xs[i] = inv_all * prefix[i];
+    inv_all *= orig;
+  }
+}
+
+// Computes the Lagrange evaluation row for point r over the size-n
+// root-of-unity domain. Requires r^n != 1 (r outside the domain); the
+// caller (the verification context) resamples r until this holds.
+template <PrimeField F>
+std::vector<F> lagrange_eval_row(const NttDomain<F>& domain, const F& r) {
+  const size_t n = domain.size();
+  // Z(r) = r^n - 1.
+  F rn = r;
+  for (size_t m = 1; m < n; m <<= 1) rn *= rn;
+  F z = rn - F::one();
+  require(!z.is_zero(), "lagrange_eval_row: r lies in the domain");
+
+  std::vector<F> denom(n);
+  for (size_t t = 0; t < n; ++t) denom[t] = r - domain.root(t);
+  batch_invert(denom);
+
+  F n_inv = F::from_u64(n).inv();
+  F zn = z * n_inv;
+  std::vector<F> row(n);
+  for (size_t t = 0; t < n; ++t) row[t] = zn * domain.root(t) * denom[t];
+  return row;
+}
+
+// Inner product <row, values>; the O(N) evaluate-at-r step.
+template <PrimeField F>
+F inner_product(const std::vector<F>& row, std::span<const F> values) {
+  require(row.size() == values.size(), "inner_product: size mismatch");
+  F acc = F::zero();
+  for (size_t i = 0; i < row.size(); ++i) acc += row[i] * values[i];
+  return acc;
+}
+
+// Classic O(n^2) Lagrange interpolation through arbitrary distinct points;
+// reference implementation used by tests to validate the fast paths.
+template <PrimeField F>
+std::vector<F> lagrange_interpolate(const std::vector<F>& xs,
+                                    const std::vector<F>& ys) {
+  require(xs.size() == ys.size(), "lagrange_interpolate: size mismatch");
+  const size_t n = xs.size();
+  std::vector<F> coeffs(n, F::zero());
+  for (size_t i = 0; i < n; ++i) {
+    // Build the numerator polynomial prod_{j != i} (x - x_j) incrementally.
+    std::vector<F> num(1, F::one());
+    F denom = F::one();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      num.push_back(F::zero());
+      for (size_t k = num.size(); k-- > 1;) {
+        num[k] = num[k - 1] - xs[j] * num[k];
+      }
+      num[0] = -xs[j] * num[0];
+      denom *= xs[i] - xs[j];
+    }
+    F scale = ys[i] * denom.inv();
+    for (size_t k = 0; k < num.size(); ++k) coeffs[k] += scale * num[k];
+  }
+  return coeffs;
+}
+
+// Horner evaluation of a coefficient-form polynomial.
+template <PrimeField F>
+F poly_eval(const std::vector<F>& coeffs, const F& x) {
+  F acc = F::zero();
+  for (size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+}  // namespace prio

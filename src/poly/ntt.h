@@ -1,0 +1,82 @@
+// Radix-2 number-theoretic transform over the root-of-unity domains of the
+// Prio fields.
+//
+// The SNIP construction (Section 4.2 + Appendix I of the paper) places the
+// t-th multiplication gate at the domain point w^t, so "interpolate the wire
+// polynomials f and g" is one inverse NTT each, and evaluating h = f*g on
+// the double-size domain is three forward NTTs. This is the FFT fast path
+// the paper implements in C on top of FLINT; here it is a self-contained
+// iterative Cooley-Tukey transform.
+#pragma once
+
+#include <vector>
+
+#include "field/field.h"
+#include "util/common.h"
+
+namespace prio {
+
+// Precomputed twiddle factors for a fixed power-of-two domain size.
+template <PrimeField F>
+class NttDomain {
+ public:
+  // n must be a power of two with n <= 2^F::kTwoAdicity.
+  explicit NttDomain(size_t n) : n_(n), log_n_(log2_exact(n)) {
+    require(n >= 1 && next_pow2(n) == n, "NttDomain: size must be a power of two");
+    require(log_n_ <= F::kTwoAdicity, "NttDomain: size exceeds field 2-adicity");
+    F w = F::root_of_unity(log_n_);
+    roots_.resize(n_);
+    inv_roots_.resize(n_);
+    roots_[0] = F::one();
+    for (size_t i = 1; i < n_; ++i) roots_[i] = roots_[i - 1] * w;
+    for (size_t i = 0; i < n_; ++i) inv_roots_[i] = roots_[(n_ - i) % n_];
+    n_inv_ = F::from_u64(n_).inv();
+  }
+
+  size_t size() const { return n_; }
+
+  // w^i for the domain generator w.
+  const F& root(size_t i) const { return roots_[i % n_]; }
+
+  // In-place forward transform: coefficients -> evaluations, i.e.
+  // a[i] <- sum_j a[j] * w^(ij).
+  void forward(std::vector<F>& a) const { transform(a, roots_); }
+
+  // In-place inverse transform: evaluations -> coefficients.
+  void inverse(std::vector<F>& a) const {
+    transform(a, inv_roots_);
+    for (F& x : a) x *= n_inv_;
+  }
+
+ private:
+  void transform(std::vector<F>& a, const std::vector<F>& roots) const {
+    require(a.size() == n_, "NttDomain: input size mismatch");
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n_; ++i) {
+      size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) std::swap(a[i], a[j]);
+    }
+    for (size_t len = 2; len <= n_; len <<= 1) {
+      size_t step = n_ / len;
+      for (size_t i = 0; i < n_; i += len) {
+        for (size_t j = 0; j < len / 2; ++j) {
+          const F& w = roots[j * step];
+          F u = a[i + j];
+          F v = a[i + j + len / 2] * w;
+          a[i + j] = u + v;
+          a[i + j + len / 2] = u - v;
+        }
+      }
+    }
+  }
+
+  size_t n_;
+  int log_n_;
+  std::vector<F> roots_;
+  std::vector<F> inv_roots_;
+  F n_inv_;
+};
+
+}  // namespace prio

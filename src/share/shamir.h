@@ -1,0 +1,82 @@
+// Shamir threshold secret sharing (Appendix B).
+//
+// Prio proper uses s-out-of-s additive sharing: robustness requires all
+// servers honest, privacy tolerates s-1 corruptions. Appendix B sketches
+// the standard trade-off: replacing additive shares with Shamir t-out-of-s
+// shares lets the system tolerate k = s - t offline/faulty servers at the
+// cost of weakening privacy to t - 1 corruptions. This module provides the
+// substrate for that extension: share/reconstruct with arbitrary
+// evaluation points, plus linear homomorphism (shares of x + y are the
+// pointwise sums of shares), which is what the aggregation pipeline needs.
+#pragma once
+
+#include "crypto/rng.h"
+#include "field/field.h"
+#include "poly/lagrange.h"
+
+namespace prio {
+
+// One server's Shamir share: the polynomial evaluated at x = index + 1.
+template <PrimeField F>
+struct ShamirShare {
+  u32 index = 0;  // server index; evaluation point is index + 1
+  F value{};
+};
+
+// Splits `secret` into s shares with reconstruction threshold t (any t
+// shares reconstruct; any t-1 reveal nothing).
+template <PrimeField F>
+std::vector<ShamirShare<F>> shamir_share(const F& secret, size_t t, size_t s,
+                                         SecureRng& rng) {
+  require(t >= 1 && t <= s, "shamir_share: need 1 <= t <= s");
+  // Random polynomial of degree t-1 with constant term = secret.
+  std::vector<F> coeffs(t);
+  coeffs[0] = secret;
+  for (size_t i = 1; i < t; ++i) coeffs[i] = rng.field_element<F>();
+  std::vector<ShamirShare<F>> shares(s);
+  for (size_t j = 0; j < s; ++j) {
+    shares[j].index = static_cast<u32>(j);
+    shares[j].value = poly_eval(coeffs, F::from_u64(j + 1));
+  }
+  return shares;
+}
+
+// Reconstructs the secret from any subset of >= t shares via Lagrange
+// interpolation at zero. The caller is responsible for passing at least
+// `t` distinct shares; passing fewer yields garbage (not an error), which
+// is exactly the privacy property.
+template <PrimeField F>
+F shamir_reconstruct(std::span<const ShamirShare<F>> shares) {
+  require(!shares.empty(), "shamir_reconstruct: no shares");
+  // lambda_j(0) = prod_{m != j} x_m / (x_m - x_j).
+  F secret = F::zero();
+  for (size_t j = 0; j < shares.size(); ++j) {
+    F xj = F::from_u64(shares[j].index + 1);
+    F num = F::one(), den = F::one();
+    for (size_t m = 0; m < shares.size(); ++m) {
+      if (m == j) continue;
+      F xm = F::from_u64(shares[m].index + 1);
+      require(!(xm == xj), "shamir_reconstruct: duplicate share index");
+      num *= xm;
+      den *= xm - xj;
+    }
+    secret += shares[j].value * num * den.inv();
+  }
+  return secret;
+}
+
+// Vector variant used by the aggregation pipeline: shares each component.
+template <PrimeField F>
+std::vector<std::vector<ShamirShare<F>>> shamir_share_vector(
+    std::span<const F> xs, size_t t, size_t s, SecureRng& rng) {
+  std::vector<std::vector<ShamirShare<F>>> per_server(
+      s, std::vector<ShamirShare<F>>());
+  for (size_t j = 0; j < s; ++j) per_server[j].reserve(xs.size());
+  for (const F& x : xs) {
+    auto shares = shamir_share(x, t, s, rng);
+    for (size_t j = 0; j < s; ++j) per_server[j].push_back(shares[j]);
+  }
+  return per_server;
+}
+
+}  // namespace prio

@@ -1,0 +1,91 @@
+// Additive s-of-s secret sharing over a prime field, with the PRG share
+// compression of Appendix I.
+//
+// Plain sharing splits x in F^L into s random vectors summing to x; an
+// adversary holding any s-1 of them learns nothing. The compressed form
+// represents shares 0..s-2 as 32-byte ChaCha20 seeds (expanded on demand by
+// the receiving server) and only the last share explicitly, cutting the
+// client's upload from s*L to L + O(1) field elements.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/rng.h"
+#include "field/field.h"
+
+namespace prio {
+
+// Expands a 32-byte seed into `len` uniform field elements (rejection
+// sampling on the PRG stream, as in the paper's AES-counter-mode PRG).
+template <PrimeField F>
+std::vector<F> expand_share_seed(std::span<const u8> seed32, size_t len) {
+  ChaChaPrg prg(seed32);
+  std::vector<F> out;
+  out.reserve(len);
+  u8 buf[F::kByteLen];
+  while (out.size() < len) {
+    prg.fill(std::span<u8>(buf, F::kByteLen));
+    F elem;
+    if (F::from_random_bytes(std::span<const u8>(buf, F::kByteLen), &elem)) {
+      out.push_back(elem);
+    }
+  }
+  return out;
+}
+
+// Plain additive sharing: s full vectors that sum to x.
+template <PrimeField F>
+std::vector<std::vector<F>> share_vector(std::span<const F> x, size_t s,
+                                         SecureRng& rng) {
+  require(s >= 2, "share_vector: need at least two shares");
+  std::vector<std::vector<F>> shares(s);
+  std::vector<F> last(x.begin(), x.end());
+  for (size_t j = 0; j + 1 < s; ++j) {
+    shares[j].reserve(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      F r = rng.field_element<F>();
+      shares[j].push_back(r);
+      last[i] -= r;
+    }
+  }
+  shares[s - 1] = std::move(last);
+  return shares;
+}
+
+// PRG-compressed sharing: shares 0..s-2 are seeds, share s-1 is explicit.
+template <PrimeField F>
+struct CompressedShares {
+  std::vector<std::array<u8, 32>> seeds;  // s-1 seeds
+  std::vector<F> explicit_share;          // the final share, full length
+};
+
+template <PrimeField F>
+CompressedShares<F> share_vector_compressed(std::span<const F> x, size_t s,
+                                            SecureRng& rng) {
+  require(s >= 2, "share_vector_compressed: need at least two shares");
+  CompressedShares<F> out;
+  out.seeds.resize(s - 1);
+  out.explicit_share.assign(x.begin(), x.end());
+  for (auto& seed : out.seeds) {
+    rng.fill(seed);
+    std::vector<F> expanded = expand_share_seed<F>(seed, x.size());
+    for (size_t i = 0; i < x.size(); ++i) out.explicit_share[i] -= expanded[i];
+  }
+  return out;
+}
+
+// Reconstructs the secret from all shares.
+template <PrimeField F>
+std::vector<F> reconstruct(const std::vector<std::vector<F>>& shares) {
+  require(!shares.empty(), "reconstruct: no shares");
+  std::vector<F> out(shares[0].size(), F::zero());
+  for (const auto& share : shares) {
+    require(share.size() == out.size(), "reconstruct: length mismatch");
+    for (size_t i = 0; i < out.size(); ++i) out[i] += share[i];
+  }
+  return out;
+}
+
+}  // namespace prio

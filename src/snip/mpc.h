@@ -1,0 +1,198 @@
+// Server-side Valid evaluation with Beaver's MPC protocol -- the "Prio-MPC"
+// variant of Section 4.4 / Appendix E.
+//
+// Instead of a SNIP, the client ships one Beaver multiplication triple per
+// multiplication gate of Valid (plus, for robustness, a SNIP over the triple
+// list proving a_t * b_t = c_t -- see make_triple_check_circuit). The
+// servers then walk the circuit together: affine gates are local, and each
+// multiplication gate consumes one triple and one broadcast round of (d, e)
+// values. Server-to-server traffic is Theta(M) field elements per
+// submission, which is exactly the Prio-MPC line of Figure 6.
+//
+// Like the paper's variant, this protects privacy against honest-but-
+// curious servers (the SNIP variant protects against actively malicious
+// ones).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "crypto/rng.h"
+
+namespace prio {
+
+// Client-side: generates M random triples (a, b, c = a*b) and returns them
+// as a flat vector [a_1, b_1, c_1, a_2, ...] to be secret-shared.
+template <PrimeField F>
+std::vector<F> make_beaver_triples(size_t count, SecureRng& rng) {
+  std::vector<F> out;
+  out.reserve(3 * count);
+  for (size_t t = 0; t < count; ++t) {
+    F a = rng.field_element<F>();
+    F b = rng.field_element<F>();
+    out.push_back(a);
+    out.push_back(b);
+    out.push_back(a * b);
+  }
+  return out;
+}
+
+// The Valid circuit for a flat triple list: checks c_t - a_t * b_t == 0 for
+// every t. Input length 3M, M multiplication gates. The client proves this
+// with a regular SNIP so that malformed triples cannot break robustness.
+template <PrimeField F>
+Circuit<F> make_triple_check_circuit(size_t count) {
+  CircuitBuilder<F> b(3 * count);
+  for (size_t t = 0; t < count; ++t) {
+    auto a = b.input(3 * t);
+    auto bb = b.input(3 * t + 1);
+    auto c = b.input(3 * t + 2);
+    b.assert_zero(b.sub(c, b.mul(a, bb)));
+  }
+  return b.build();
+}
+
+// Per-server state machine for one multi-party circuit evaluation. The
+// driver (tests, or the networked pipeline) moves the broadcast values.
+//
+// Usage per server i:
+//   BeaverMpcSession s(circuit, n_servers, i, x_share, triple_share);
+//   while (!s.done()) {
+//     auto de = s.round_messages();         // shares of (d, e) per gate
+//     ... all-to-all exchange, sum ...
+//     s.resolve_round(de_totals);
+//   }
+//   auto outs = s.output_shares();          // publish, sum, test == 0
+class BeaverMpcStats;
+
+template <PrimeField F>
+class BeaverMpcSession {
+ public:
+  BeaverMpcSession(const Circuit<F>* circuit, size_t num_servers,
+                   size_t server_index, std::span<const F> input_share,
+                   std::span<const F> triple_share)
+      : circuit_(circuit),
+        server_index_(server_index),
+        s_inv_(F::from_u64(num_servers).inv()),
+        triples_(triple_share.begin(), triple_share.end()),
+        wires_(circuit->num_wires()),
+        computed_(circuit->num_wires(), false),
+        input_(input_share.begin(), input_share.end()) {
+    require(triple_share.size() == 3 * circuit->num_mul_gates(),
+            "BeaverMpcSession: need one triple per mul gate");
+    const auto& muls = circuit->mul_gates();
+    for (size_t t = 0; t < muls.size(); ++t) mul_index_[muls[t]] = t;
+    advance();
+  }
+
+  bool done() const { return done_; }
+  size_t rounds() const { return rounds_; }
+
+  // Shares of (d, e) = ([y]-[a], [z]-[b]) for every mul gate ready this
+  // round (all gates whose operands are computed).
+  std::vector<std::pair<F, F>> round_messages() const {
+    std::vector<std::pair<F, F>> out;
+    out.reserve(pending_.size());
+    for (u32 gate : pending_) {
+      const Gate<F>& g = circuit_->gates()[gate];
+      size_t t = mul_index_.at(gate);
+      out.emplace_back(wires_[g.a] - triples_[3 * t],
+                       wires_[g.b] - triples_[3 * t + 1]);
+    }
+    return out;
+  }
+
+  // Feeds back the summed (d, e) per pending gate; computes the product
+  // shares and advances to the next round.
+  void resolve_round(std::span<const std::pair<F, F>> totals) {
+    require(totals.size() == pending_.size(), "resolve_round: arity");
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      u32 gate = pending_[i];
+      size_t t = mul_index_.at(gate);
+      const F& d = totals[i].first;
+      const F& e = totals[i].second;
+      // sigma_i = de/s + d[b]_i + e[a]_i + [c]_i (Appendix C.2).
+      wires_[gate] = d * e * s_inv_ + d * triples_[3 * t + 1] +
+                     e * triples_[3 * t] + triples_[3 * t + 2];
+      computed_[gate] = true;
+    }
+    ++rounds_;
+    advance();
+  }
+
+  // Shares of the output wires (each must sum to zero across servers).
+  std::vector<F> output_shares() const {
+    require(done_, "output_shares: evaluation not finished");
+    std::vector<F> out;
+    out.reserve(circuit_->outputs().size());
+    for (u32 o : circuit_->outputs()) out.push_back(wires_[o]);
+    return out;
+  }
+
+ private:
+  // Computes every wire whose operands are available; stops at mul gates.
+  void advance() {
+    pending_.clear();
+    const auto& gates = circuit_->gates();
+    for (size_t i = 0; i < gates.size(); ++i) {
+      if (computed_[i]) continue;
+      const Gate<F>& g = gates[i];
+      switch (g.op) {
+        case GateOp::kInput:
+          wires_[i] = input_[g.a];
+          computed_[i] = true;
+          break;
+        case GateOp::kConst:
+          wires_[i] = server_index_ == 0 ? g.constant : F::zero();
+          computed_[i] = true;
+          break;
+        case GateOp::kAdd:
+          if (computed_[g.a] && computed_[g.b]) {
+            wires_[i] = wires_[g.a] + wires_[g.b];
+            computed_[i] = true;
+          }
+          break;
+        case GateOp::kSub:
+          if (computed_[g.a] && computed_[g.b]) {
+            wires_[i] = wires_[g.a] - wires_[g.b];
+            computed_[i] = true;
+          }
+          break;
+        case GateOp::kMulConst:
+          if (computed_[g.a]) {
+            wires_[i] = wires_[g.a] * g.constant;
+            computed_[i] = true;
+          }
+          break;
+        case GateOp::kMul:
+          if (computed_[g.a] && computed_[g.b]) {
+            pending_.push_back(static_cast<u32>(i));
+          }
+          break;
+      }
+    }
+    done_ = pending_.empty();
+    if (done_) {
+      // All output wires must be computed by now.
+      for (u32 o : circuit_->outputs()) {
+        require(computed_[o], "BeaverMpcSession: dangling output wire");
+      }
+    }
+  }
+
+  const Circuit<F>* circuit_;
+  size_t server_index_;
+  F s_inv_;
+  std::vector<F> triples_;
+  std::vector<F> wires_;
+  std::vector<bool> computed_;
+  std::vector<F> input_;
+  std::vector<u32> pending_;
+  std::map<u32, size_t> mul_index_;
+  size_t rounds_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace prio

@@ -1,0 +1,1 @@
+// Anchor TU for the header-only prio_snip library (snip.h, mpc.h).

@@ -1,0 +1,37 @@
+// Common small utilities shared by every Prio module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace prio {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+
+// Throws std::invalid_argument when a caller-supplied precondition fails.
+// Used at public API boundaries; internal invariants use assert().
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+// Round x up to the next power of two (x must be >= 1).
+constexpr u64 next_pow2(u64 x) {
+  u64 n = 1;
+  while (n < x) n <<= 1;
+  return n;
+}
+
+constexpr int log2_exact(u64 x) {
+  int k = 0;
+  while ((u64{1} << k) < x) ++k;
+  return k;
+}
+
+}  // namespace prio

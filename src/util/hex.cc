@@ -1,0 +1,34 @@
+#include "util/hex.h"
+
+namespace prio {
+
+std::string to_hex(std::span<const u8> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (u8 b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: bad hex digit");
+}
+}  // namespace
+
+std::vector<u8> from_hex(const std::string& hex) {
+  require(hex.size() % 2 == 0, "from_hex: odd-length string");
+  std::vector<u8> out(hex.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<u8>(nibble(hex[2 * i]) << 4 | nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+}  // namespace prio

@@ -1,0 +1,18 @@
+// Hex encoding/decoding helpers, mostly used by tests and debug output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace prio {
+
+// Lower-case hex encoding of a byte span.
+std::string to_hex(std::span<const u8> bytes);
+
+// Decodes a hex string (case-insensitive, even length). Throws on bad input.
+std::vector<u8> from_hex(const std::string& hex);
+
+}  // namespace prio

@@ -1,0 +1,4 @@
+#include "util/status.h"
+
+// Status is header-only; this file exists so the util library has a
+// translation unit per build-system convention.

@@ -1,0 +1,31 @@
+// A minimal success/error result type for protocol-level failures.
+//
+// Protocol code (SNIP verification, AEAD opening, wire parsing) reports
+// failures as values rather than exceptions: a malformed client submission is
+// an expected event that the servers must handle on the hot path, not an
+// exceptional condition.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace prio {
+
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status error(std::string msg) { return Status(std::move(msg)); }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return msg_; }
+
+ private:
+  Status() : ok_(true) {}
+  explicit Status(std::string msg) : ok_(false), msg_(std::move(msg)) {}
+
+  bool ok_;
+  std::string msg_;
+};
+
+}  // namespace prio

@@ -1,0 +1,113 @@
+// Circuit construction and evaluation tests, including share-evaluation
+// consistency: wire shares across servers must sum to the plain values.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "crypto/rng.h"
+#include "share/share.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+
+// x0 * x1 + 3 must equal x2  <=>  (x0*x1 + 3) - x2 == 0.
+Circuit<F> make_test_circuit() {
+  CircuitBuilder<F> b(3);
+  auto prod = b.mul(b.input(0), b.input(1));
+  auto sum = b.add(prod, b.constant(F::from_u64(3)));
+  b.assert_zero(b.sub(sum, b.input(2)));
+  return b.build();
+}
+
+TEST(CircuitTest, EvaluatesGates) {
+  auto c = make_test_circuit();
+  EXPECT_EQ(c.num_inputs(), 3u);
+  EXPECT_EQ(c.num_mul_gates(), 1u);
+  std::vector<F> good = {F::from_u64(4), F::from_u64(5), F::from_u64(23)};
+  std::vector<F> bad = {F::from_u64(4), F::from_u64(5), F::from_u64(24)};
+  EXPECT_TRUE(c.is_valid(good));
+  EXPECT_FALSE(c.is_valid(bad));
+}
+
+TEST(CircuitTest, AssertBitBuildsBitTest) {
+  CircuitBuilder<F> b(1);
+  b.assert_bit(b.input(0));
+  auto c = b.build();
+  EXPECT_EQ(c.num_mul_gates(), 1u);
+  EXPECT_TRUE(c.is_valid(std::vector<F>{F::zero()}));
+  EXPECT_TRUE(c.is_valid(std::vector<F>{F::one()}));
+  EXPECT_FALSE(c.is_valid(std::vector<F>{F::from_u64(2)}));
+  EXPECT_FALSE(c.is_valid(std::vector<F>{F::from_u64(Fp64::kP - 1)}));
+}
+
+TEST(CircuitTest, MulConstAndAssertEquals) {
+  CircuitBuilder<F> b(1);
+  auto w = b.mul_const(b.input(0), F::from_u64(10));
+  b.assert_equals(w, F::from_u64(70));
+  auto c = b.build();
+  EXPECT_EQ(c.num_mul_gates(), 0u);  // mul-by-const is affine
+  EXPECT_TRUE(c.is_valid(std::vector<F>{F::from_u64(7)}));
+  EXPECT_FALSE(c.is_valid(std::vector<F>{F::from_u64(8)}));
+}
+
+TEST(CircuitTest, ShareEvaluationSumsToPlainWires) {
+  auto c = make_test_circuit();
+  std::vector<F> x = {F::from_u64(6), F::from_u64(7), F::from_u64(45)};
+  auto wires = c.evaluate(x);
+
+  SecureRng rng(7);
+  const size_t s = 3;
+  auto x_shares = share_vector<F>(x, s, rng);
+
+  // Mul-gate outputs, shared (the SNIP supplies these via h).
+  std::vector<F> mul_out;
+  for (u32 g : c.mul_gates()) mul_out.push_back(wires[g]);
+  auto mul_shares = share_vector<F>(mul_out, s, rng);
+
+  // Each server evaluates on shares; wire shares must sum to plain wires.
+  std::vector<std::vector<F>> wire_shares;
+  for (size_t i = 0; i < s; ++i) {
+    wire_shares.push_back(
+        c.eval_shares(x_shares[i], mul_shares[i], /*first_server=*/i == 0));
+  }
+  auto sum_wires = reconstruct(wire_shares);
+  EXPECT_EQ(sum_wires, wires);
+}
+
+TEST(CircuitTest, MulGateInputsExtraction) {
+  CircuitBuilder<F> b(2);
+  auto m1 = b.mul(b.input(0), b.input(1));
+  auto m2 = b.mul(m1, b.input(0));
+  b.assert_zero(m2);
+  auto c = b.build();
+  auto wires = c.evaluate(std::vector<F>{F::from_u64(3), F::from_u64(4)});
+  std::vector<F> left, right;
+  c.mul_gate_inputs(wires, &left, &right);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0], F::from_u64(3));
+  EXPECT_EQ(right[0], F::from_u64(4));
+  EXPECT_EQ(left[1], F::from_u64(12));
+  EXPECT_EQ(right[1], F::from_u64(3));
+}
+
+TEST(CircuitTest, OutputValues) {
+  CircuitBuilder<F> b(2);
+  b.assert_zero(b.sub(b.input(0), b.input(1)));
+  b.assert_zero(b.add(b.input(0), b.input(1)));
+  auto c = b.build();
+  auto wires = c.evaluate(std::vector<F>{F::from_u64(5), F::from_u64(5)});
+  auto outs = c.output_values(wires);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_TRUE(outs[0].is_zero());
+  EXPECT_EQ(outs[1], F::from_u64(10));
+}
+
+TEST(CircuitTest, InputArityChecked) {
+  auto c = make_test_circuit();
+  EXPECT_THROW(c.evaluate(std::vector<F>{F::one()}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prio

@@ -1,0 +1,257 @@
+// End-to-end pipeline tests: honest clients aggregate correctly, malicious
+// clients are rejected without corrupting the aggregate, leader rotation
+// balances traffic, and the Prio-MPC variant agrees with the SNIP variant.
+
+#include <gtest/gtest.h>
+
+#include "afe/bitvec_sum.h"
+#include "afe/freq.h"
+#include "afe/linreg.h"
+#include "afe/sum.h"
+#include "baseline/nizk.h"
+#include "baseline/no_privacy.h"
+#include "baseline/no_robustness.h"
+#include "core/deployment.h"
+#include "core/mpc_deployment.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+
+TEST(DeploymentTest, EndToEndIntegerSum) {
+  afe::IntegerSum<F> afe(8);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(1);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 20; ++cid) {
+    u64 x = (cid * 13) % 256;
+    expect += x;
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid, rng)));
+  }
+  EXPECT_EQ(dep.accepted(), 20u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+TEST(DeploymentTest, MaliciousClientRejectedAggregateIntact) {
+  afe::IntegerSum<F> afe(4);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(2);
+
+  // Honest clients.
+  for (u64 cid = 0; cid < 5; ++cid) {
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(10, cid, rng)));
+  }
+
+  // A malicious client: builds shares of an out-of-range encoding by hand
+  // (the "submit 2^60 instead of a 4-bit value" attack).
+  {
+    std::vector<F> bogus_encoding(afe.k(), F::zero());
+    bogus_encoding[0] = F::from_u64(u64{1} << 60);
+    SnipProver<F> prover(&afe.valid_circuit());
+    auto ext = prover.build_extended_input(bogus_encoding, rng);
+    auto cs = share_vector_compressed<F>(ext, 3, rng);
+    // Reuse the deployment's sealing by building a parallel upload: simplest
+    // route is to craft a valid upload and then corrupt the plaintext; here
+    // we re-derive the client keys through the public client_upload path by
+    // submitting the bogus encoding through a hand-rolled AFE.
+    struct RawAfe {
+      using Field = F;
+      using Input = std::vector<F>;
+      using Result = u128;
+      const afe::IntegerSum<F>* inner;
+      size_t k() const { return inner->k(); }
+      size_t k_prime() const { return inner->k_prime(); }
+      std::vector<F> encode(const Input& v) const { return v; }
+      const Circuit<F>& valid_circuit() const { return inner->valid_circuit(); }
+      Result decode(std::span<const F> sigma, size_t n) const {
+        return inner->decode(sigma, n);
+      }
+    };
+    RawAfe raw{&afe};
+    PrioDeployment<F, RawAfe> evil_side(&raw, {.num_servers = 3});
+    auto blobs = evil_side.client_upload(bogus_encoding, 100, rng);
+    // Deliver the malicious upload to the honest deployment: same master
+    // seed, so the keys line up.
+    EXPECT_FALSE(dep.process_submission(100, blobs));
+  }
+
+  EXPECT_EQ(dep.accepted(), 5u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), 50u);
+}
+
+TEST(DeploymentTest, GarbageBlobsRejected) {
+  afe::IntegerSum<F> afe(4);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 2});
+  SecureRng rng(3);
+  // Tampered ciphertext.
+  auto blobs = dep.client_upload(3, 7, rng);
+  blobs[0][0] ^= 1;
+  EXPECT_FALSE(dep.process_submission(7, blobs));
+  // Truncated blob.
+  auto blobs2 = dep.client_upload(3, 8, rng);
+  blobs2[1].resize(4);
+  EXPECT_FALSE(dep.process_submission(8, blobs2));
+  EXPECT_EQ(dep.accepted(), 0u);
+}
+
+TEST(DeploymentTest, NonLeaderTrafficIsConstantInSubmissionLength) {
+  // Figure 6's key property: per-submission bytes sent by a non-leader do
+  // not grow with L.
+  SecureRng rng(4);
+  std::vector<u64> bytes_per_l;
+  for (size_t l : {8, 64, 256}) {
+    afe::BitVectorSum<F> afe(l);
+    PrioDeployment<F, afe::BitVectorSum<F>> dep(&afe, {.num_servers = 3});
+    std::vector<u8> bits(l, 1);
+    // client 0 -> leader is server 0; servers 1, 2 are non-leaders.
+    dep.process_submission(0, dep.client_upload(bits, 0, rng));
+    bytes_per_l.push_back(dep.network().bytes_sent_by(1));
+  }
+  EXPECT_EQ(bytes_per_l[0], bytes_per_l[1]);
+  EXPECT_EQ(bytes_per_l[1], bytes_per_l[2]);
+}
+
+TEST(DeploymentTest, LeaderRotationBalancesTraffic) {
+  afe::BitVectorSum<F> afe(16);
+  PrioDeployment<F, afe::BitVectorSum<F>> dep(&afe, {.num_servers = 4});
+  SecureRng rng(5);
+  std::vector<u8> bits(16, 0);
+  for (u64 cid = 0; cid < 40; ++cid) {
+    dep.process_submission(cid, dep.client_upload(bits, cid, rng));
+  }
+  // With client ids cycling mod 4, every server leads 10 times; totals match.
+  u64 b0 = dep.network().bytes_sent_by(0);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(dep.network().bytes_sent_by(i), b0) << i;
+  }
+}
+
+TEST(DeploymentTest, FrequencyCountEndToEnd) {
+  afe::FrequencyCount<F> afe(6);
+  PrioDeployment<F, afe::FrequencyCount<F>> dep(&afe, {.num_servers = 5});
+  SecureRng rng(6);
+  std::vector<u64> expect(6, 0);
+  for (u64 cid = 0; cid < 30; ++cid) {
+    u64 v = (cid * 7) % 6;
+    ++expect[v];
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(v, cid, rng)));
+  }
+  EXPECT_EQ(dep.publish(), expect);
+}
+
+TEST(DeploymentTest, RefreshKeepsAccepting) {
+  afe::IntegerSum<F> afe(4);
+  DeploymentOptions opts;
+  opts.num_servers = 2;
+  opts.refresh_every = 3;  // force several refreshes
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, opts);
+  SecureRng rng(7);
+  for (u64 cid = 0; cid < 10; ++cid) {
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(1, cid, rng)));
+  }
+  EXPECT_EQ(static_cast<u64>(dep.publish()), 10u);
+}
+
+// ---------- Prio-MPC variant ----------
+
+TEST(MpcDeploymentTest, EndToEndAndAgreesWithSnipVariant) {
+  afe::IntegerSum<F> afe(6);
+  PrioMpcDeployment<F, afe::IntegerSum<F>> mpc(&afe, {.num_servers = 3});
+  SecureRng rng(8);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 10; ++cid) {
+    u64 x = cid * 5;
+    expect += x;
+    EXPECT_TRUE(mpc.process_submission(cid, mpc.client_upload(x, cid, rng)));
+  }
+  EXPECT_EQ(static_cast<u64>(mpc.publish()), expect);
+}
+
+TEST(MpcDeploymentTest, RejectsInvalidEncoding) {
+  afe::IntegerSum<F> afe(4);
+  // Hand-rolled raw AFE to push an invalid encoding through the client path.
+  struct RawAfe {
+    using Field = F;
+    using Input = std::vector<F>;
+    using Result = u128;
+    const afe::IntegerSum<F>* inner;
+    size_t k() const { return inner->k(); }
+    size_t k_prime() const { return inner->k_prime(); }
+    std::vector<F> encode(const Input& v) const { return v; }
+    const Circuit<F>& valid_circuit() const { return inner->valid_circuit(); }
+    Result decode(std::span<const F> sigma, size_t n) const {
+      return inner->decode(sigma, n);
+    }
+  };
+  RawAfe raw{&afe};
+  PrioMpcDeployment<F, RawAfe> dep(&raw, {.num_servers = 2});
+  SecureRng rng(9);
+  std::vector<F> bogus(afe.k(), F::zero());
+  bogus[0] = F::from_u64(12345);
+  EXPECT_FALSE(dep.process_submission(0, dep.client_upload(bogus, 0, rng)));
+  EXPECT_EQ(dep.accepted(), 0u);
+}
+
+TEST(MpcDeploymentTest, TrafficGrowsWithCircuitSize) {
+  // Prio-MPC traffic is Theta(M); Prio (SNIP) traffic is constant.
+  SecureRng rng(10);
+  auto mpc_bytes = [&](size_t l) {
+    afe::BitVectorSum<F> afe(l);
+    PrioMpcDeployment<F, afe::BitVectorSum<F>> dep(&afe, {.num_servers = 2});
+    std::vector<u8> bits(l, 1);
+    dep.process_submission(0, dep.client_upload(bits, 0, rng));
+    return dep.network().bytes_sent_by(1);
+  };
+  EXPECT_GT(mpc_bytes(128), 2 * mpc_bytes(16));
+}
+
+// ---------- baselines ----------
+
+TEST(BaselineTest, NoPrivacySumsInTheClear) {
+  afe::IntegerSum<F> afe(8);
+  baseline::NoPrivacyDeployment<F, afe::IntegerSum<F>> dep(&afe, 42);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 25; ++cid) {
+    u64 x = cid * 3;
+    expect += x;
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid)));
+  }
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+  // Tampered blob rejected by the AEAD.
+  auto blob = dep.client_upload(1, 99);
+  blob[3] ^= 1;
+  EXPECT_FALSE(dep.process_submission(99, blob));
+}
+
+TEST(BaselineTest, NoRobustnessSharesReconstruct) {
+  afe::IntegerSum<F> afe(8);
+  baseline::NoRobustnessDeployment<F, afe::IntegerSum<F>> dep(&afe, 5, 42);
+  SecureRng rng(11);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 25; ++cid) {
+    u64 x = cid;
+    expect += x;
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid, rng)));
+  }
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+TEST(BaselineTest, NizkAcceptsHonestRejectsForged) {
+  afe::BitVectorSum<F> afe(8);
+  baseline::NizkDeployment<F> dep(&afe, 3);
+  SecureRng rng(12);
+  std::vector<u8> bits = {1, 0, 1, 1, 0, 0, 1, 0};
+  auto up = dep.client_upload(bits, rng);
+  EXPECT_TRUE(dep.process_submission(0, up));
+  // Forge: swap in a proof for a different commitment (mismatch).
+  auto up2 = dep.client_upload(bits, rng);
+  // Corrupt one byte inside the first proof record.
+  up2.proof_blob[40] ^= 1;
+  EXPECT_FALSE(dep.process_submission(1, up2));
+  auto counts = dep.publish();
+  EXPECT_EQ(counts, (std::vector<u64>{1, 0, 1, 1, 0, 0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace prio

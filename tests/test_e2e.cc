@@ -1,0 +1,123 @@
+// Cross-field and adversarial end-to-end tests: the whole pipeline over
+// the large field, larger-scale aggregation, and fuzzed hostile uploads.
+
+#include <gtest/gtest.h>
+
+#include "afe/bitvec_sum.h"
+#include "afe/sum.h"
+#include "afe/stats.h"
+#include "core/deployment.h"
+#include "core/mpc_deployment.h"
+
+namespace prio {
+namespace {
+
+// ---------- large field end-to-end ----------
+
+TEST(E2eFp128, IntegerSumPipeline) {
+  afe::IntegerSum<Fp128> afe(16);
+  PrioDeployment<Fp128, afe::IntegerSum<Fp128>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(1);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 8; ++cid) {
+    u64 x = cid * 1000 + 5;
+    expect += x;
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid, rng)));
+  }
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+TEST(E2eFp128, MpcVariantPipeline) {
+  afe::IntegerSum<Fp128> afe(8);
+  PrioMpcDeployment<Fp128, afe::IntegerSum<Fp128>> dep(&afe,
+                                                       {.num_servers = 2});
+  SecureRng rng(2);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 4; ++cid) {
+    expect += 7;
+    EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(7, cid, rng)));
+  }
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+// ---------- larger-scale aggregation ----------
+
+TEST(E2eScale, FiveHundredClientsTenServers) {
+  afe::IntegerSum<Fp64> afe(10);
+  PrioDeployment<Fp64, afe::IntegerSum<Fp64>> dep(&afe, {.num_servers = 10});
+  SecureRng rng(3);
+  u64 expect = 0;
+  for (u64 cid = 0; cid < 500; ++cid) {
+    u64 x = (cid * 977) % 1024;
+    expect += x;
+    ASSERT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid, rng)));
+  }
+  EXPECT_EQ(dep.accepted(), 500u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+// ---------- hostile upload fuzzing ----------
+
+class BlobFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlobFuzz, RandomGarbageNeverAcceptedNeverCrashes) {
+  afe::IntegerSum<Fp64> afe(8);
+  PrioDeployment<Fp64, afe::IntegerSum<Fp64>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(100 + GetParam());
+  SecureRng honest_rng(4);
+
+  // Interleave honest traffic with garbage so a crash/corruption shows up
+  // in the final aggregate.
+  u64 expect = 0;
+  for (u64 round = 0; round < 10; ++round) {
+    u64 cid = round;
+    expect += 3;
+    ASSERT_TRUE(
+        dep.process_submission(cid, dep.client_upload(3, cid, honest_rng)));
+
+    // Garbage blobs of various lengths, including empty and huge.
+    std::vector<std::vector<u8>> garbage(3);
+    for (auto& blob : garbage) {
+      size_t len = rng.next_below(300);
+      blob.resize(len);
+      rng.fill(blob);
+    }
+    EXPECT_FALSE(dep.process_submission(1000 + round, garbage));
+
+    // Bit-flipped honest blobs.
+    auto tampered = dep.client_upload(3, 2000 + round, honest_rng);
+    size_t victim = rng.next_below(3);
+    if (!tampered[victim].empty()) {
+      tampered[victim][rng.next_below(tampered[victim].size())] ^= 0x80;
+    }
+    EXPECT_FALSE(dep.process_submission(2000 + round, tampered));
+  }
+  EXPECT_EQ(dep.accepted(), 10u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlobFuzz, ::testing::Values(1, 2, 3, 4));
+
+// ---------- variance AFE over the full pipeline ----------
+
+TEST(E2eVariance, PipelineMatchesOracle) {
+  afe::Variance<Fp64> afe(8);
+  PrioDeployment<Fp64, afe::Variance<Fp64>> dep(&afe, {.num_servers = 4});
+  SecureRng rng(5);
+  std::vector<u64> xs;
+  double sum = 0, sum2 = 0;
+  for (u64 cid = 0; cid < 64; ++cid) {
+    u64 x = (cid * 37) % 256;
+    xs.push_back(x);
+    sum += static_cast<double>(x);
+    sum2 += static_cast<double>(x) * static_cast<double>(x);
+    ASSERT_TRUE(dep.process_submission(cid, dep.client_upload(x, cid, rng)));
+  }
+  auto st = dep.publish();
+  double n = static_cast<double>(xs.size());
+  EXPECT_NEAR(st.mean, sum / n, 1e-9);
+  EXPECT_NEAR(st.variance, sum2 / n - (sum / n) * (sum / n), 1e-6);
+}
+
+}  // namespace
+}  // namespace prio

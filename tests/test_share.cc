@@ -1,0 +1,88 @@
+// Additive secret sharing and PRG share-compression tests.
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "share/share.h"
+
+namespace prio {
+namespace {
+
+template <typename F>
+class ShareTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<Fp64, Fp128>;
+TYPED_TEST_SUITE(ShareTest, FieldTypes);
+
+TYPED_TEST(ShareTest, PlainSharesReconstruct) {
+  using F = TypeParam;
+  SecureRng rng(1);
+  for (size_t s : {2, 3, 5, 10}) {
+    std::vector<F> x;
+    for (u64 i = 0; i < 20; ++i) x.push_back(F::from_u64(i * i + 1));
+    auto shares = share_vector<F>(x, s, rng);
+    EXPECT_EQ(shares.size(), s);
+    EXPECT_EQ(reconstruct(shares), x);
+  }
+}
+
+TYPED_TEST(ShareTest, SharesLookRandomIndividually) {
+  using F = TypeParam;
+  SecureRng rng(2);
+  std::vector<F> x(4, F::zero());
+  auto shares = share_vector<F>(x, 2, rng);
+  // A share of the all-zeros vector must not itself be all zeros
+  // (overwhelming probability): individual shares carry no information.
+  bool all_zero = true;
+  for (const auto& v : shares[0]) all_zero = all_zero && v.is_zero();
+  EXPECT_FALSE(all_zero);
+}
+
+TYPED_TEST(ShareTest, CompressedSharesReconstruct) {
+  using F = TypeParam;
+  SecureRng rng(3);
+  for (size_t s : {2, 3, 5}) {
+    std::vector<F> x;
+    for (u64 i = 0; i < 33; ++i) x.push_back(F::from_u64(i + 100));
+    auto cs = share_vector_compressed<F>(x, s, rng);
+    EXPECT_EQ(cs.seeds.size(), s - 1);
+    // Expand and sum.
+    std::vector<std::vector<F>> shares;
+    for (const auto& seed : cs.seeds) {
+      shares.push_back(expand_share_seed<F>(seed, x.size()));
+    }
+    shares.push_back(cs.explicit_share);
+    EXPECT_EQ(reconstruct(shares), x);
+  }
+}
+
+TYPED_TEST(ShareTest, SeedExpansionIsDeterministic) {
+  using F = TypeParam;
+  std::array<u8, 32> seed{};
+  seed[0] = 0xAB;
+  auto a = expand_share_seed<F>(seed, 100);
+  auto b = expand_share_seed<F>(seed, 100);
+  EXPECT_EQ(a, b);
+  // Prefix property: a shorter expansion is a prefix of a longer one.
+  auto c = expand_share_seed<F>(seed, 40);
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), a.begin()));
+}
+
+TYPED_TEST(ShareTest, RejectsDegenerateShareCounts) {
+  using F = TypeParam;
+  SecureRng rng(4);
+  std::vector<F> x(3, F::one());
+  EXPECT_THROW(share_vector<F>(x, 1, rng), std::invalid_argument);
+  EXPECT_THROW(share_vector_compressed<F>(x, 0, rng), std::invalid_argument);
+}
+
+TEST(ShareSizes, CompressionSavesBandwidth) {
+  // The paper's Appendix I: sL field elements -> L + O(1). For s=5, L=1024,
+  // Fp64: plain = 5*1024*8 bytes; compressed = 1024*8 + 4*32 bytes.
+  size_t plain = 5 * 1024 * Fp64::kByteLen;
+  size_t compressed = 1024 * Fp64::kByteLen + 4 * 32;
+  EXPECT_GT(plain, 4 * compressed);  // roughly s-fold saving
+}
+
+}  // namespace
+}  // namespace prio

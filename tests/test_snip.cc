@@ -1,0 +1,322 @@
+// SNIP protocol tests: completeness over random valid inputs, soundness
+// against a malicious-client fuzzer that perturbs every part of the proof,
+// zero-knowledge smoke checks, and the Beaver-MPC (Prio-MPC) variant.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "crypto/rng.h"
+#include "snip/mpc.h"
+#include "snip/snip.h"
+
+namespace prio {
+namespace {
+
+// Valid circuit: every input is a bit. (The paper's running example.)
+template <PrimeField F>
+Circuit<F> bits_circuit(size_t n) {
+  CircuitBuilder<F> b(n);
+  for (size_t i = 0; i < n; ++i) b.assert_bit(b.input(i));
+  return b.build();
+}
+
+template <typename F>
+class SnipTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<Fp64, Fp128>;
+TYPED_TEST_SUITE(SnipTest, FieldTypes);
+
+TYPED_TEST(SnipTest, CompletenessOnValidInputs) {
+  using F = TypeParam;
+  SecureRng rng(1);
+  for (size_t L : {1, 2, 7, 32}) {
+    auto circuit = bits_circuit<F>(L);
+    SnipProver<F> prover(&circuit);
+    VerificationContext<F> ctx(&circuit, 3, /*shared_seed=*/99);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<F> x;
+      for (size_t i = 0; i < L; ++i) x.push_back(F::from_u64(rng.next_u64() & 1));
+      auto ext = prover.build_extended_input(x, rng);
+      auto shares = share_vector<F>(ext, 3, rng);
+      EXPECT_TRUE(snip_verify_all(ctx, shares)) << "L=" << L;
+    }
+  }
+}
+
+TYPED_TEST(SnipTest, RejectsOutOfRangeInputs) {
+  using F = TypeParam;
+  SecureRng rng(2);
+  auto circuit = bits_circuit<F>(8);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 2, 7);
+  // A cheating client submits x with a non-bit entry but otherwise builds
+  // the proof honestly (the "encrypt 2 instead of 1" attack from §1).
+  std::vector<F> x(8, F::one());
+  x[3] = F::from_u64(2);
+  auto ext = prover.build_extended_input(x, rng);
+  auto shares = share_vector<F>(ext, 2, rng);
+  EXPECT_FALSE(snip_verify_all(ctx, shares));
+}
+
+TYPED_TEST(SnipTest, SoundnessUnderProofFuzzing) {
+  using F = TypeParam;
+  SecureRng rng(3);
+  const size_t L = 4;
+  auto circuit = bits_circuit<F>(L);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 2, 11);
+  const SnipLayout& lay = prover.layout();
+
+  std::vector<F> x(L, F::one());
+  x[0] = F::from_u64(5);  // invalid input
+
+  // The adversary perturbs every single component of the extended vector
+  // (h points, f(0), g(0), the Beaver triple, even x itself) trying to
+  // slip the invalid x past the servers. All attempts must fail.
+  int accepted = 0, attempts = 0;
+  auto base = prover.build_extended_input(x, rng);
+  for (size_t pos = 0; pos < lay.total_len(); ++pos) {
+    auto ext = base;
+    ext[pos] += F::from_u64(1 + (rng.next_u64() % 1000));
+    // x itself fuzzed: input might become valid; skip those rare cases.
+    if (circuit.is_valid(std::span<const F>(ext.data(), L))) continue;
+    auto shares = share_vector<F>(ext, 2, rng);
+    ++attempts;
+    accepted += snip_verify_all(ctx, shares) ? 1 : 0;
+  }
+  EXPECT_GT(attempts, 0);
+  EXPECT_EQ(accepted, 0);
+}
+
+TYPED_TEST(SnipTest, SoundnessWithBadBeaverTriple) {
+  using F = TypeParam;
+  SecureRng rng(4);
+  const size_t L = 4;
+  auto circuit = bits_circuit<F>(L);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 2, 13);
+  const SnipLayout& lay = prover.layout();
+
+  // Invalid input + a *consistent looking* but wrong triple (c != a*b) --
+  // the attack analyzed in Step 3b of Section 4.2.
+  std::vector<F> x(L, F::from_u64(3));
+  int accepted = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto ext = prover.build_extended_input(x, rng);
+    ext[lay.off_c()] = ext[lay.off_a()] * ext[lay.off_b()] +
+                       F::from_u64(1 + trial);  // shift alpha
+    auto shares = share_vector<F>(ext, 2, rng);
+    accepted += snip_verify_all(ctx, shares) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TYPED_TEST(SnipTest, HonestTripleWrongHStillRejected) {
+  using F = TypeParam;
+  SecureRng rng(5);
+  auto circuit = bits_circuit<F>(3);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 3, 17);
+  const SnipLayout& lay = prover.layout();
+  // Valid input, but h claims different mul-gate outputs (e.g. trying to
+  // make the servers aggregate a different value path). h inconsistent
+  // with f*g must be caught by the polynomial identity test.
+  std::vector<F> x(3, F::one());
+  int accepted = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto ext = prover.build_extended_input(x, rng);
+    size_t h_pos = lay.off_h() + (rng.next_u64() % lay.h_len);
+    ext[h_pos] += F::one();
+    auto shares = share_vector<F>(ext, 3, rng);
+    accepted += snip_verify_all(ctx, shares) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TYPED_TEST(SnipTest, WorksWithCompressedShares) {
+  using F = TypeParam;
+  SecureRng rng(6);
+  auto circuit = bits_circuit<F>(16);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 5, 23);
+  std::vector<F> x(16, F::zero());
+  x[5] = F::one();
+  auto ext = prover.build_extended_input(x, rng);
+  auto cs = share_vector_compressed<F>(ext, 5, rng);
+  std::vector<std::vector<F>> shares;
+  for (const auto& seed : cs.seeds) {
+    shares.push_back(expand_share_seed<F>(seed, ext.size()));
+  }
+  shares.push_back(cs.explicit_share);
+  EXPECT_TRUE(snip_verify_all(ctx, shares));
+}
+
+TYPED_TEST(SnipTest, AffineOnlyCircuitStillChecked) {
+  using F = TypeParam;
+  // Circuit with zero mul gates: x0 + x1 == 10. Output check alone.
+  CircuitBuilder<F> b(2);
+  b.assert_equals(b.add(b.input(0), b.input(1)), F::from_u64(10));
+  auto circuit = b.build();
+  ASSERT_EQ(circuit.num_mul_gates(), 0u);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 2, 29);
+  SecureRng rng(7);
+  std::vector<F> good = {F::from_u64(4), F::from_u64(6)};
+  std::vector<F> bad = {F::from_u64(4), F::from_u64(7)};
+  auto ext_good = prover.build_extended_input(good, rng);
+  auto ext_bad = prover.build_extended_input(bad, rng);
+  EXPECT_TRUE(snip_verify_all(ctx, share_vector<F>(ext_good, 2, rng)));
+  EXPECT_FALSE(snip_verify_all(ctx, share_vector<F>(ext_bad, 2, rng)));
+}
+
+TYPED_TEST(SnipTest, RefreshChangesQueryPoint) {
+  using F = TypeParam;
+  auto circuit = bits_circuit<F>(4);
+  VerificationContext<F> ctx(&circuit, 2, 31);
+  F r1 = ctx.r();
+  ctx.refresh();
+  F r2 = ctx.r();
+  EXPECT_NE(r1, r2);
+  // Still verifies after refresh.
+  SecureRng rng(8);
+  SnipProver<F> prover(&circuit);
+  std::vector<F> x(4, F::one());
+  auto ext = prover.build_extended_input(x, rng);
+  EXPECT_TRUE(snip_verify_all(ctx, share_vector<F>(ext, 2, rng)));
+}
+
+// Zero-knowledge smoke test: the values a single server sees (its shares
+// plus the broadcast d, e) are identically distributed for two different
+// valid inputs. We check a necessary statistical condition: means of the
+// share of f(0) over many runs do not reveal which input was used -- and,
+// more sharply, that the d/e broadcasts are uniform-looking (non-constant)
+// and independent of x.
+TYPED_TEST(SnipTest, BroadcastValuesDoNotDependOnInput) {
+  using F = TypeParam;
+  auto circuit = bits_circuit<F>(2);
+  SnipProver<F> prover(&circuit);
+  VerificationContext<F> ctx(&circuit, 2, 37);
+  SecureRng rng(9);
+
+  auto run_d_values = [&](std::vector<F> x) {
+    std::vector<u64> ds;
+    for (int i = 0; i < 64; ++i) {
+      auto ext = prover.build_extended_input(x, rng);
+      auto shares = share_vector<F>(ext, 2, rng);
+      auto st0 = snip_local_check(ctx, 0, std::span<const F>(shares[0]));
+      auto st1 = snip_local_check(ctx, 1, std::span<const F>(shares[1]));
+      F d = st0.d_share + st1.d_share;
+      u8 buf[F::kByteLen];
+      d.to_bytes(buf);
+      ds.push_back(buf[0]);  // low byte as a crude histogram key
+    }
+    return ds;
+  };
+
+  auto d0 = run_d_values({F::zero(), F::zero()});
+  auto d1 = run_d_values({F::one(), F::one()});
+  // Both sequences should look scattered: more than 32 distinct low bytes
+  // out of 64 draws with overwhelming probability if uniform.
+  auto distinct = [](std::vector<u64> v) {
+    std::sort(v.begin(), v.end());
+    return std::unique(v.begin(), v.end()) - v.begin();
+  };
+  EXPECT_GT(distinct(d0), 32);
+  EXPECT_GT(distinct(d1), 32);
+}
+
+// ---------- Prio-MPC (Beaver evaluation at the servers) ----------
+
+TYPED_TEST(SnipTest, BeaverMpcEvaluatesCircuit) {
+  using F = TypeParam;
+  SecureRng rng(10);
+  const size_t L = 8, s = 3;
+  auto circuit = bits_circuit<F>(L);
+
+  std::vector<F> x;
+  for (size_t i = 0; i < L; ++i) x.push_back(F::from_u64(i % 2));
+
+  auto triples = make_beaver_triples<F>(circuit.num_mul_gates(), rng);
+  auto x_shares = share_vector<F>(x, s, rng);
+  auto t_shares = share_vector<F>(triples, s, rng);
+
+  std::vector<BeaverMpcSession<F>> sessions;
+  sessions.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    sessions.emplace_back(&circuit, s, i, x_shares[i], t_shares[i]);
+  }
+  while (!sessions[0].done()) {
+    std::vector<std::pair<F, F>> totals;
+    for (size_t i = 0; i < s; ++i) {
+      auto msgs = sessions[i].round_messages();
+      if (totals.empty()) totals.assign(msgs.size(), {F::zero(), F::zero()});
+      for (size_t j = 0; j < msgs.size(); ++j) {
+        totals[j].first += msgs[j].first;
+        totals[j].second += msgs[j].second;
+      }
+    }
+    for (size_t i = 0; i < s; ++i) sessions[i].resolve_round(totals);
+  }
+  // Sum output shares: all outputs must be zero for a valid input.
+  std::vector<F> outs(circuit.outputs().size(), F::zero());
+  for (size_t i = 0; i < s; ++i) {
+    auto o = sessions[i].output_shares();
+    for (size_t j = 0; j < o.size(); ++j) outs[j] += o[j];
+  }
+  for (const auto& o : outs) EXPECT_TRUE(o.is_zero());
+}
+
+TYPED_TEST(SnipTest, BeaverMpcCatchesInvalidInput) {
+  using F = TypeParam;
+  SecureRng rng(11);
+  const size_t L = 4, s = 2;
+  auto circuit = bits_circuit<F>(L);
+  std::vector<F> x(L, F::from_u64(7));  // not bits
+
+  auto triples = make_beaver_triples<F>(circuit.num_mul_gates(), rng);
+  auto x_shares = share_vector<F>(x, s, rng);
+  auto t_shares = share_vector<F>(triples, s, rng);
+  std::vector<BeaverMpcSession<F>> sessions;
+  for (size_t i = 0; i < s; ++i) {
+    sessions.emplace_back(&circuit, s, i, x_shares[i], t_shares[i]);
+  }
+  while (!sessions[0].done()) {
+    std::vector<std::pair<F, F>> totals;
+    for (size_t i = 0; i < s; ++i) {
+      auto msgs = sessions[i].round_messages();
+      if (totals.empty()) totals.assign(msgs.size(), {F::zero(), F::zero()});
+      for (size_t j = 0; j < msgs.size(); ++j) {
+        totals[j].first += msgs[j].first;
+        totals[j].second += msgs[j].second;
+      }
+    }
+    for (size_t i = 0; i < s; ++i) sessions[i].resolve_round(totals);
+  }
+  bool any_nonzero = false;
+  std::vector<F> outs(circuit.outputs().size(), F::zero());
+  for (size_t i = 0; i < s; ++i) {
+    auto o = sessions[i].output_shares();
+    for (size_t j = 0; j < o.size(); ++j) outs[j] += o[j];
+  }
+  for (const auto& o : outs) any_nonzero = any_nonzero || !o.is_zero();
+  EXPECT_TRUE(any_nonzero);
+}
+
+TYPED_TEST(SnipTest, TripleCheckCircuitGuardsMpcTriples) {
+  using F = TypeParam;
+  SecureRng rng(12);
+  auto triples = make_beaver_triples<F>(5, rng);
+  auto check = make_triple_check_circuit<F>(5);
+  EXPECT_TRUE(check.is_valid(triples));
+  triples[2] += F::one();  // corrupt one c
+  EXPECT_FALSE(check.is_valid(triples));
+
+  // And the SNIP over the triple-check circuit rejects the bad triples.
+  SnipProver<F> prover(&check);
+  VerificationContext<F> ctx(&check, 2, 41);
+  auto ext = prover.build_extended_input(triples, rng);
+  EXPECT_FALSE(snip_verify_all(ctx, share_vector<F>(ext, 2, rng)));
+}
+
+}  // namespace
+}  // namespace prio
