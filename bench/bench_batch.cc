@@ -1,0 +1,141 @@
+// Batched vs serial verification throughput (Section 6 / Appendix I's
+// batching argument, measured): pre-generates N client uploads, then
+// verifies them (a) one at a time through process_submission and (b) in
+// batches of Q through process_batch at 1, 2, 4, 8 threads. Also reports
+// the round/message coalescing and checks that batched and serial paths
+// make identical accept/reject decisions on a mixed valid/invalid batch.
+//
+// Thread-scaling numbers are only meaningful on a multi-core host; the
+// harness prints the detected hardware concurrency alongside.
+
+#include <cstdio>
+#include <thread>
+
+#include "afe/bitvec_sum.h"
+#include "bench_util.h"
+#include "core/deployment.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+using Afe = afe::BitVectorSum<F>;
+
+struct Workload {
+  std::vector<Submission> subs;
+  std::vector<u8> expected;  // verdict per submission
+};
+
+Workload make_workload(const Afe& afe, size_t n, size_t num_servers,
+                       bool with_invalid) {
+  // Client-side deployment: same master seed as the measured deployments,
+  // so the sealed blobs open there.
+  PrioDeployment<F, Afe> client_side(&afe, {.num_servers = num_servers});
+  SecureRng rng(42);
+  Workload w;
+  w.subs.reserve(n);
+  const size_t len = afe.k_prime();
+  for (u64 cid = 0; cid < n; ++cid) {
+    std::vector<u8> bits(len, 0);
+    bits[cid % len] = 1;
+    auto blobs = client_side.client_upload(bits, cid, rng);
+    u8 expect = 1;
+    if (with_invalid && cid % 5 == 3) {
+      blobs[cid % num_servers][12] ^= 1;  // tampered ciphertext
+      expect = 0;
+    }
+    w.subs.push_back({cid, std::move(blobs)});
+    w.expected.push_back(expect);
+  }
+  return w;
+}
+
+double serial_rate(const Afe& afe, const Workload& w, size_t num_servers) {
+  PrioDeployment<F, Afe> dep(&afe, {.num_servers = num_servers});
+  double secs = benchutil::time_seconds([&] {
+    for (const auto& sub : w.subs) dep.process_submission(sub.client_id, sub.blobs);
+  }, 1);
+  return static_cast<double>(w.subs.size()) / secs;
+}
+
+double batch_rate(const Afe& afe, const Workload& w, size_t num_servers,
+                  size_t threads, size_t batch_size) {
+  PrioDeployment<F, Afe> dep(
+      &afe, {.num_servers = num_servers, .batch_threads = threads});
+  double secs = benchutil::time_seconds([&] {
+    for (size_t off = 0; off < w.subs.size(); off += batch_size) {
+      const size_t q = std::min(batch_size, w.subs.size() - off);
+      dep.process_batch(std::span<const Submission>(w.subs.data() + off, q));
+    }
+  }, 1);
+  return static_cast<double>(w.subs.size()) / secs;
+}
+
+}  // namespace
+}  // namespace prio
+
+int main() {
+  using namespace prio;
+  const bool full = benchutil::full_mode();
+  const size_t kServers = 3;
+  const size_t kLen = full ? 128 : 64;      // submission length (bits)
+  const size_t kN = full ? 4096 : 1024;     // submissions per measurement
+  const size_t kBatch = 64;                 // Q
+  Afe afe(kLen);
+
+  benchutil::header("batched vs serial SNIP verification");
+  std::printf("servers=%zu  submission_len=%zu  N=%zu  Q=%zu  hw_threads=%u\n",
+              kServers, kLen, kN, kBatch,
+              std::thread::hardware_concurrency());
+
+  auto w = make_workload(afe, kN, kServers, /*with_invalid=*/false);
+
+  const double serial = serial_rate(afe, w, kServers);
+  std::printf("\n%-28s %12.0f subs/s   (baseline)\n",
+              "serial process_submission", serial);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const double rate = batch_rate(afe, w, kServers, threads, kBatch);
+    std::printf("process_batch, %2zu thread%s %12.0f subs/s   (%.2fx serial)\n",
+                threads, threads == 1 ? " " : "s", rate, rate / serial);
+  }
+
+  // Round/message coalescing at Q=64.
+  {
+    PrioDeployment<F, Afe> dep(&afe, {.num_servers = kServers});
+    dep.process_batch(std::span<const Submission>(w.subs.data(), kBatch));
+    const double per_sub_rounds =
+        static_cast<double>(dep.network().rounds()) / kBatch;
+    std::printf("\nbatch of %zu: %llu wire rounds (%.3f/submission; serial pays 4),"
+                " %llu wire messages carrying %llu protocol messages\n",
+                kBatch, static_cast<unsigned long long>(dep.network().rounds()),
+                per_sub_rounds,
+                static_cast<unsigned long long>(dep.network().total_messages()),
+                static_cast<unsigned long long>(
+                    dep.network().total_logical_messages()));
+  }
+
+  // Correctness gate: batched and serial must agree on a mixed batch.
+  auto mixed = make_workload(afe, 200, kServers, /*with_invalid=*/true);
+  PrioDeployment<F, Afe> serial_dep(&afe, {.num_servers = kServers});
+  PrioDeployment<F, Afe> batch_dep(&afe, {.num_servers = kServers});
+  std::vector<u8> serial_verdicts, batch_verdicts;
+  for (const auto& sub : mixed.subs) {
+    serial_verdicts.push_back(
+        serial_dep.process_submission(sub.client_id, sub.blobs) ? 1 : 0);
+  }
+  for (size_t off = 0; off < mixed.subs.size(); off += kBatch) {
+    const size_t q = std::min(kBatch, mixed.subs.size() - off);
+    auto v = batch_dep.process_batch(
+        std::span<const Submission>(mixed.subs.data() + off, q));
+    batch_verdicts.insert(batch_verdicts.end(), v.begin(), v.end());
+  }
+  const bool decisions_match = serial_verdicts == batch_verdicts &&
+                               serial_verdicts == mixed.expected;
+  std::printf("mixed valid/invalid batch (%zu subs, %zu invalid): "
+              "decisions %s\n",
+              mixed.subs.size(),
+              static_cast<size_t>(std::count(mixed.expected.begin(),
+                                             mixed.expected.end(), 0)),
+              decisions_match ? "IDENTICAL (serial == batched)" : "DIVERGED");
+  return decisions_match ? 0 : 1;
+}

@@ -17,9 +17,19 @@
 // A non-leader therefore transmits a constant ~4 field elements per
 // submission regardless of submission length -- the flat Prio line of
 // Figure 6.
+//
+// process_batch amortizes the same protocol over Q submissions (Section 6 /
+// Appendix I): the secret point r and its Lagrange rows are reused across
+// the batch, per-server local work fans out over a thread pool, and each of
+// the four rounds ships one coalesced message (Q pairs / a Q-bit bitmap)
+// instead of Q messages.
 #pragma once
 
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "afe/afe.h"
 #include "crypto/rng.h"
@@ -27,6 +37,7 @@
 #include "net/simnet.h"
 #include "net/wire.h"
 #include "snip/snip.h"
+#include "util/thread_pool.h"
 
 namespace prio {
 
@@ -35,11 +46,185 @@ struct DeploymentOptions {
   u64 master_seed = 1;          // deployment master secret (tests/benches)
   u64 latency_us = 250;         // one-way link latency for the simulation
   size_t refresh_every = 1024;  // resample r after this many submissions
+  size_t batch_threads = 0;     // process_batch pool size; 0 = hardware
+  // Test-only override for the servers' local differential-privacy noise
+  // RNGs. Production (nullopt) draws every server's noise from its own OS
+  // entropy, so noise is unpredictable even to someone who knows
+  // master_seed.
+  std::optional<u64> noise_seed;
 };
 
 // Client-side upload kinds: PRG seed share or explicit share.
 inline constexpr u8 kShareSeed = 0;
 inline constexpr u8 kShareExplicit = 1;
+
+// One client submission as the servers receive it: the client id plus one
+// sealed blob per server.
+struct Submission {
+  u64 client_id = 0;
+  std::vector<std::vector<u8>> blobs;
+};
+
+// Expands the 64-bit deployment master seed into the 32-byte master secret
+// the sealing keys derive from.
+inline std::vector<u8> master_seed_bytes(u64 seed) {
+  std::vector<u8> m(32, 0);
+  for (int i = 0; i < 8; ++i) m[i] = static_cast<u8>(seed >> (8 * i));
+  return m;
+}
+
+// Client->server submission sealing, shared by the pipeline variants.
+// Per-(client, submission) keys: the submission counter is bound into the
+// HKDF label AND supplies the nonce, so two submissions from one client
+// never reuse a (key, nonce) pair, and a blob sealed for server j never
+// opens at server i != j. Blob layout: [u64 seq (LE)] || AEAD ciphertext;
+// tampering with the cleartext seq changes the derived key and the AEAD
+// open fails.
+class SubmissionSealer {
+ public:
+  explicit SubmissionSealer(std::span<const u8> master)
+      : master_(master.begin(), master.end()) {}
+
+  // Advances the per-client submission counter (thread-safe).
+  u64 next_seq(u64 client_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_[client_id]++;
+  }
+
+  std::vector<u8> seal(u64 client_id, size_t server, u64 seq,
+                       std::span<const u8> payload) const {
+    net::Writer blob;
+    blob.u64_(seq);
+    blob.raw(Aead::seal(key(client_id, server, seq), nonce(seq), {}, payload));
+    return blob.take();
+  }
+
+  // On success, *seq_out (if given) receives the blob's submission counter
+  // so the caller can enforce replay freshness.
+  std::optional<std::vector<u8>> open(u64 client_id, size_t server,
+                                      std::span<const u8> blob,
+                                      u64* seq_out = nullptr) const {
+    net::Reader prefix(blob);
+    u64 seq = prefix.u64_();
+    if (!prefix.ok()) return std::nullopt;
+    if (seq_out) *seq_out = seq;
+    return Aead::open(key(client_id, server, seq), nonce(seq), {},
+                      blob.subspan(8));
+  }
+
+ private:
+  std::array<u8, 32> key(u64 client_id, size_t server, u64 seq) const {
+    net::Writer label;
+    label.u64_(client_id);
+    label.u64_(server);
+    label.u64_(seq);
+    auto k = hkdf_sha256(master_, label.data(), {}, 32);
+    std::array<u8, 32> out;
+    std::copy(k.begin(), k.end(), out.begin());
+    return out;
+  }
+
+  static std::array<u8, 12> nonce(u64 seq) {
+    std::array<u8, 12> n{};
+    for (int i = 0; i < 8; ++i) n[i] = static_cast<u8>(seq >> (8 * i));
+    return n;
+  }
+
+  std::vector<u8> master_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<u64, u64> next_seq_;
+};
+
+// Opens a sealed blob and decodes it into a length-`len` share vector
+// (PRG-seed shares are expanded, explicit shares parsed).
+template <PrimeField F>
+std::optional<std::vector<F>> open_sealed_share(const SubmissionSealer& sealer,
+                                                u64 client_id, size_t server,
+                                                std::span<const u8> blob,
+                                                size_t len,
+                                                u64* seq_out = nullptr) {
+  auto pt = sealer.open(client_id, server, blob, seq_out);
+  if (!pt) return std::nullopt;
+  net::Reader r(*pt);
+  u8 kind = r.u8_();
+  if (!r.ok()) return std::nullopt;
+  if (kind == kShareSeed) {
+    if (r.remaining() != 32) return std::nullopt;
+    std::vector<u8> seed = {pt->begin() + 1, pt->end()};
+    return expand_share_seed<F>(seed, len);
+  }
+  if (kind == kShareExplicit) {
+    auto v = r.field_vector<F>();
+    if (!r.ok() || !r.at_end() || v.size() != len) return std::nullopt;
+    return v;
+  }
+  return std::nullopt;
+}
+
+// Server-side replay guard (replicated high-water mark over the cleartext
+// submission counters): a submission is fresh iff its counter is at or
+// above the client's floor. The floor advances only when a submission is
+// accepted, so a byte-identical replay of an accepted submission can never
+// be aggregated twice, while a rejected counter does not burn the slot.
+class ReplayGuard {
+ public:
+  bool fresh(u64 client_id, u64 seq) const {
+    auto it = floor_.find(client_id);
+    return it == floor_.end() || seq >= it->second;
+  }
+  void accept(u64 client_id, u64 seq) { floor_[client_id] = seq + 1; }
+
+ private:
+  std::unordered_map<u64, u64> floor_;
+};
+
+// Splits a batch into refresh-window-sized chunks so the servers' secret
+// point r never serves more than `window` submissions, concatenating the
+// per-chunk verdicts.
+template <typename ChunkFn>
+std::vector<u8> process_in_refresh_chunks(std::span<const Submission> batch,
+                                          size_t window, ChunkFn&& chunk_fn) {
+  require(window > 0, "process_in_refresh_chunks: refresh window must be > 0");
+  if (batch.size() <= window) return chunk_fn(batch);
+  std::vector<u8> verdicts;
+  verdicts.reserve(batch.size());
+  for (size_t off = 0; off < batch.size(); off += window) {
+    const size_t q = std::min(window, batch.size() - off);
+    auto v = chunk_fn(batch.subspan(off, q));
+    verdicts.insert(verdicts.end(), v.begin(), v.end());
+  }
+  return verdicts;
+}
+
+// r may serve at most refresh_every submissions; `upcoming` are about to be
+// verified under the current r, so refresh every server's context first if
+// that would overrun (batch-safe, unlike a processed % refresh_every test).
+// ServerRange elements must expose a VerificationContext member `ctx`.
+template <typename ServerRange>
+void refresh_contexts_if_due(ServerRange& servers, size_t refresh_every,
+                             size_t upcoming) {
+  if (servers.front().ctx.refresh_due(refresh_every, upcoming)) {
+    for (auto& srv : servers) srv.ctx.refresh();
+  }
+  for (auto& srv : servers) srv.ctx.note_submissions(upcoming);
+}
+
+// Wire accounting for server-to-server traffic (TLS in the paper): payload
+// plus AEAD framing, one physical message carrying `logical` protocol-level
+// messages.
+inline void framed_send(net::SimNetwork& net, size_t from, size_t to,
+                        size_t payload_len, u64 logical = 1) {
+  net.send_coalesced(from, to, payload_len + net::SecureChannel::kOverhead,
+                     logical);
+}
+
+inline void framed_broadcast(net::SimNetwork& net, size_t num_servers,
+                             size_t from, size_t payload_len,
+                             u64 logical = 1) {
+  for (size_t to = 0; to < num_servers; ++to) {
+    if (to != from) framed_send(net, from, to, payload_len, logical);
+  }
+}
 
 template <PrimeField F, typename Afe>
 class PrioDeployment {
@@ -49,15 +234,14 @@ class PrioDeployment {
         opts_(opts),
         prover_(&afe->valid_circuit()),
         net_(opts.num_servers, opts.latency_us),
-        clocks_(opts.num_servers) {
+        clocks_(opts.num_servers),
+        sealer_(master_seed_bytes(opts.master_seed)) {
     require(opts.num_servers >= 2, "PrioDeployment: need >= 2 servers");
-    master_.resize(32);
-    for (int i = 0; i < 8; ++i) master_[i] = static_cast<u8>(opts.master_seed >> (8 * i));
     for (size_t i = 0; i < opts.num_servers; ++i) {
       servers_.push_back(ServerState{
           VerificationContext<F>(&afe->valid_circuit(), opts.num_servers,
                                  opts.master_seed ^ 0x5eed),
-          std::vector<F>(afe->k_prime(), F::zero())});
+          std::vector<F>(afe->k_prime(), F::zero()), make_noise_rng(i)});
     }
   }
 
@@ -69,7 +253,9 @@ class PrioDeployment {
 
   // -------------------------------------------------------------------
   // Client side. Returns one sealed blob per server. Shares 0..s-2 are PRG
-  // seeds; share s-1 is explicit (Appendix I compression).
+  // seeds; share s-1 is explicit (Appendix I compression). Each call
+  // advances the client's submission counter, which keys the sealing (see
+  // seal_for_server), so repeated submissions never reuse a (key, nonce).
   // -------------------------------------------------------------------
   std::vector<std::vector<u8>> client_upload(const typename Afe::Input& in,
                                              u64 client_id,
@@ -78,6 +264,7 @@ class PrioDeployment {
     std::vector<F> ext = prover_.build_extended_input(encoding, rng);
     auto cs = share_vector_compressed<F>(ext, opts_.num_servers, rng);
 
+    const u64 seq = sealer_.next_seq(client_id);
     std::vector<std::vector<u8>> blobs;
     blobs.reserve(opts_.num_servers);
     for (size_t j = 0; j < opts_.num_servers; ++j) {
@@ -89,7 +276,7 @@ class PrioDeployment {
         w.u8_(kShareExplicit);
         w.field_vector<F>(std::span<const F>(cs.explicit_share));
       }
-      blobs.push_back(seal_for_server(client_id, j, w.data()));
+      blobs.push_back(sealer_.seal(client_id, j, seq, w.data()));
     }
     return blobs;
   }
@@ -105,21 +292,25 @@ class PrioDeployment {
     const size_t leader = static_cast<size_t>(client_id % s);
     const size_t ext_len = prover_.layout().total_len();
 
-    maybe_refresh();
+    refresh_contexts_if_due(servers_, opts_.refresh_every, 1);
 
     // Phase 1: every server decrypts, expands, and runs the local check.
     std::vector<std::optional<SnipLocalState<F>>> states(s);
     std::vector<std::vector<F>> x_shares(s);
+    u64 seq = 0;
     for (size_t i = 0; i < s; ++i) {
       auto scope = clocks_.measure(i);
-      auto share = open_share(client_id, i, blobs[i], ext_len);
+      auto share = open_sealed_share<F>(sealer_, client_id, i, blobs[i],
+                                        ext_len, i == 0 ? &seq : nullptr);
       if (!share) continue;  // malformed: server i will vote reject
       states[i] = snip_local_check(servers_[i].ctx, i,
                                    std::span<const F>(*share));
       x_shares[i].assign(share->begin(), share->begin() + afe_->k_prime());
     }
 
-    bool parse_ok = true;
+    // Replayed submission counters are rejected up front, like malformed
+    // blobs: the servers never verify or re-aggregate them.
+    bool parse_ok = replay_.fresh(client_id, seq);
     for (const auto& st : states) parse_ok = parse_ok && st.has_value();
 
     bool accept = false;
@@ -135,7 +326,7 @@ class PrioDeployment {
         e += states[i]->e_share;
       }
       net_.end_round();
-      broadcast_from(leader, 2 * F::kByteLen);
+      framed_broadcast(net_, s, leader, 2 * F::kByteLen);
       net_.end_round();
 
       // Round 3: sigma + output shares to the leader.
@@ -157,7 +348,7 @@ class PrioDeployment {
         auto scope = clocks_.measure(leader);
         accept = snip_accept(sigma, out);
       }
-      broadcast_from(leader, 1);
+      framed_broadcast(net_, s, leader, 1);
       net_.end_round();
     }
 
@@ -168,12 +359,179 @@ class PrioDeployment {
           servers_[i].accumulator[c] += x_shares[i][c];
         }
       }
+      replay_.accept(client_id, seq);
       ++accepted_;
     }
     ++processed_;
     return accept;
   }
 
+  // -------------------------------------------------------------------
+  // Batched server pipeline. Verifies Q submissions with per-server local
+  // work spread over a thread pool and the four protocol rounds coalesced:
+  // a non-leader sends one message of Q (d, e) pairs instead of Q
+  // messages, and the decision broadcast is a packed Q-bit bitmap.
+  // Accept/reject decisions are identical to feeding each submission
+  // through process_submission. Returns one 0/1 verdict per submission.
+  // -------------------------------------------------------------------
+  std::vector<u8> process_batch(std::span<const Submission> batch) {
+    return process_in_refresh_chunks(
+        batch, opts_.refresh_every,
+        [this](std::span<const Submission> chunk) {
+          return process_batch_chunk(chunk);
+        });
+  }
+
+ private:
+  // One refresh-window-sized chunk of a batch (all of it when the caller's
+  // batch fits inside refresh_every).
+  std::vector<u8> process_batch_chunk(std::span<const Submission> batch) {
+    const size_t q_total = batch.size();
+    std::vector<u8> verdicts(q_total, 0);
+    if (q_total == 0) return verdicts;
+    const size_t s = opts_.num_servers;
+    for (const auto& sub : batch) {
+      require(sub.blobs.size() == s, "process_batch: blob count");
+    }
+    const size_t ext_len = prover_.layout().total_len();
+    const size_t kp = afe_->k_prime();
+    // One leader per batch; rotating it batch-to-batch spreads the relay
+    // traffic the way the serial path's per-client rotation does.
+    const size_t leader = static_cast<size_t>(batch_counter_++ % s);
+
+    refresh_contexts_if_due(servers_, opts_.refresh_every, q_total);
+    ThreadPool& pool = ensure_pool();
+
+    // Phase 1 (pooled): decrypt + expand + SNIP local check per
+    // (submission, server) pair. Task (q, i) writes only slot q*s+i.
+    std::vector<std::optional<SnipLocalState<F>>> states(q_total * s);
+    std::vector<std::vector<F>> x_shares(q_total * s);
+    std::vector<u64> seqs(q_total, 0);
+    pool.parallel_for(q_total * s, [&](size_t task, size_t) {
+      const size_t q = task / s, i = task % s;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto share = open_sealed_share<F>(sealer_, batch[q].client_id, i,
+                                        batch[q].blobs[i], ext_len,
+                                        i == 0 ? &seqs[q] : nullptr);
+      if (share) {
+        states[task] =
+            snip_local_check(servers_[i].ctx, i, std::span<const F>(*share));
+        x_shares[task].assign(share->begin(), share->begin() + kp);
+      }
+      clocks_.add_busy(i, net::BusyClock::us_since(t0));
+    });
+
+    // Submissions every server could parse continue through the rounds; the
+    // rest are rejected here, as the serial path rejects before round 1.
+    std::vector<size_t> live;
+    live.reserve(q_total);
+    for (size_t q = 0; q < q_total; ++q) {
+      bool ok = true;
+      for (size_t i = 0; i < s; ++i) ok = ok && states[q * s + i].has_value();
+      if (ok) live.push_back(q);
+    }
+
+    if (!live.empty()) {
+      const size_t ql = live.size();
+
+      // Rounds 1+2 (coalesced): every non-leader ships its Q (d, e) pairs
+      // in one message; the leader broadcasts the Q sums back.
+      const size_t pairs_msg_len = net::field_pairs_len<F>(ql);
+      std::vector<F> d_total(ql, F::zero()), e_total(ql, F::zero());
+      for (size_t i = 0; i < s; ++i) {
+        for (size_t v = 0; v < ql; ++v) {
+          const auto& st = *states[live[v] * s + i];
+          d_total[v] += st.d_share;
+          e_total[v] += st.e_share;
+        }
+        if (i != leader) framed_send(net_, i, leader, pairs_msg_len, ql);
+      }
+      net_.end_round(ql);
+      framed_broadcast(net_, s, leader, pairs_msg_len, ql);
+      net_.end_round(ql);
+
+      // Round 3 (pooled compute, coalesced send): sigma + output shares.
+      std::vector<F> sigma_shares(ql * s), out_shares(ql * s);
+      pool.parallel_for(ql * s, [&](size_t task, size_t) {
+        const size_t v = task / s, i = task % s;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto& st = *states[live[v] * s + i];
+        sigma_shares[task] =
+            snip_sigma_share(servers_[i].ctx, st, d_total[v], e_total[v]);
+        out_shares[task] = st.out_combo;
+        clocks_.add_busy(i, net::BusyClock::us_since(t0));
+      });
+      for (size_t i = 0; i < s; ++i) {
+        if (i != leader) framed_send(net_, i, leader, pairs_msg_len, ql);
+      }
+      net_.end_round(ql);
+
+      // Round 4: the leader decides all Q and broadcasts a packed bitmap.
+      std::vector<u8> decisions(ql, 0);
+      {
+        auto scope = clocks_.measure(leader);
+        for (size_t v = 0; v < ql; ++v) {
+          F sigma = F::zero(), out = F::zero();
+          for (size_t i = 0; i < s; ++i) {
+            sigma += sigma_shares[v * s + i];
+            out += out_shares[v * s + i];
+          }
+          decisions[v] = snip_accept(sigma, out) ? 1 : 0;
+        }
+      }
+      framed_broadcast(net_, s, leader, net::bitmap_len(ql), ql);
+      net_.end_round(ql);
+
+      for (size_t v = 0; v < ql; ++v) verdicts[live[v]] = decisions[v];
+    }
+
+    // Aggregation (pooled): accepted x-shares accumulate into per-worker
+    // accumulators, merged at batch end -- no cross-thread writes to the
+    // server accumulators.
+    // The replay floor is applied in submission order, exactly as the
+    // serial path would: a replayed counter flips the verdict to reject
+    // and is never aggregated; only accepted submissions advance it.
+    std::vector<size_t> accepted_subs;
+    accepted_subs.reserve(q_total);
+    for (size_t q = 0; q < q_total; ++q) {
+      if (!verdicts[q]) continue;
+      if (!replay_.fresh(batch[q].client_id, seqs[q])) {
+        verdicts[q] = 0;
+        continue;
+      }
+      replay_.accept(batch[q].client_id, seqs[q]);
+      accepted_subs.push_back(q);
+    }
+    if (!accepted_subs.empty()) {
+      const size_t workers = pool.size();
+      std::vector<std::vector<F>> acc(workers,
+                                      std::vector<F>(s * kp, F::zero()));
+      pool.parallel_for(accepted_subs.size(), [&](size_t task, size_t worker) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const size_t q = accepted_subs[task];
+        std::vector<F>& a = acc[worker];
+        for (size_t i = 0; i < s; ++i) {
+          const std::vector<F>& xs = x_shares[q * s + i];
+          for (size_t c = 0; c < kp; ++c) a[i * kp + c] += xs[c];
+        }
+        // One task does every server's share of the work; split the time.
+        const double us = net::BusyClock::us_since(t0) / static_cast<double>(s);
+        for (size_t i = 0; i < s; ++i) clocks_.add_busy(i, us);
+      });
+      for (size_t w = 0; w < workers; ++w) {
+        for (size_t i = 0; i < s; ++i) {
+          for (size_t c = 0; c < kp; ++c) {
+            servers_[i].accumulator[c] += acc[w][i * kp + c];
+          }
+        }
+      }
+      accepted_ += accepted_subs.size();
+    }
+    processed_ += q_total;
+    return verdicts;
+  }
+
+ public:
   // -------------------------------------------------------------------
   // Publish: servers reveal accumulators; anyone can decode.
   // -------------------------------------------------------------------
@@ -206,14 +564,16 @@ class PrioDeployment {
   // before revealing its accumulator, every server adds an independent
   // noise share; the published totals carry discrete-Laplace noise and no
   // server ever sees the un-noised aggregate. NoiseGen must expose
-  // noise_share_field<F>(SecureRng&) (see core/dp.h).
+  // noise_share_field<F>(SecureRng&) (see core/dp.h). Each server draws
+  // from its own local SecureRng (OS entropy unless the test-only
+  // noise_seed override is set) -- never from the shared master seed,
+  // which the aggregate's consumers may know.
   template <typename NoiseGen>
   typename Afe::Result publish_with_noise(const NoiseGen& noise) {
     for (size_t i = 0; i < opts_.num_servers; ++i) {
-      // Each server's noise randomness is local and secret.
-      SecureRng rng(opts_.master_seed * 0x9e3779b97f4a7c15ull + i + 1);
       for (size_t c = 0; c < afe_->k_prime(); ++c) {
-        servers_[i].accumulator[c] += noise.template noise_share_field<F>(rng);
+        servers_[i].accumulator[c] +=
+            noise.template noise_share_field<F>(servers_[i].noise_rng);
       }
     }
     return publish();
@@ -223,54 +583,19 @@ class PrioDeployment {
   struct ServerState {
     VerificationContext<F> ctx;
     std::vector<F> accumulator;
+    SecureRng noise_rng;  // local, secret randomness for DP noise shares
   };
 
-  void maybe_refresh() {
-    if (processed_ > 0 && processed_ % opts_.refresh_every == 0) {
-      for (auto& srv : servers_) srv.ctx.refresh();
+  SecureRng make_noise_rng(size_t server) const {
+    if (opts_.noise_seed) {
+      return SecureRng(*opts_.noise_seed * 0x9e3779b97f4a7c15ull + server + 1);
     }
+    return SecureRng::from_os_entropy();
   }
 
-  std::array<u8, 32> client_key(u64 client_id, size_t server) const {
-    net::Writer label;
-    label.u64_(client_id);
-    label.u64_(server);
-    auto k = hkdf_sha256(master_, label.data(), {}, 32);
-    std::array<u8, 32> out;
-    std::copy(k.begin(), k.end(), out.begin());
-    return out;
-  }
-
-  std::vector<u8> seal_for_server(u64 client_id, size_t server,
-                                  std::span<const u8> payload) const {
-    std::array<u8, 12> nonce{};
-    // Fresh per (client, submission) in a real deployment; the benches use
-    // one submission per client id.
-    auto key = client_key(client_id, server);
-    return Aead::seal(key, nonce, {}, payload);
-  }
-
-  std::optional<std::vector<F>> open_share(u64 client_id, size_t server,
-                                           std::span<const u8> blob,
-                                           size_t ext_len) {
-    std::array<u8, 12> nonce{};
-    auto key = client_key(client_id, server);
-    auto pt = Aead::open(key, nonce, {}, blob);
-    if (!pt) return std::nullopt;
-    net::Reader r(*pt);
-    u8 kind = r.u8_();
-    if (!r.ok()) return std::nullopt;
-    if (kind == kShareSeed) {
-      if (r.remaining() != 32) return std::nullopt;
-      std::vector<u8> seed = {pt->begin() + 1, pt->end()};
-      return expand_share_seed<F>(seed, ext_len);
-    }
-    if (kind == kShareExplicit) {
-      auto v = r.field_vector<F>();
-      if (!r.ok() || !r.at_end() || v.size() != ext_len) return std::nullopt;
-      return v;
-    }
-    return std::nullopt;
+  ThreadPool& ensure_pool() {
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(opts_.batch_threads);
+    return *pool_;
   }
 
   void send(size_t from, size_t to, std::span<const u8> payload) {
@@ -281,20 +606,16 @@ class PrioDeployment {
     net_.send(from, to, std::move(framed));
   }
 
-  void broadcast_from(size_t from, size_t payload_len) {
-    std::vector<u8> msg(payload_len + net::SecureChannel::kOverhead);
-    for (size_t to = 0; to < opts_.num_servers; ++to) {
-      if (to != from) net_.send(from, to, msg);
-    }
-  }
-
   const Afe* afe_;
   DeploymentOptions opts_;
   SnipProver<F> prover_;
   net::SimNetwork net_;
   net::BusyClock clocks_;
-  std::vector<u8> master_;
   std::vector<ServerState> servers_;
+  SubmissionSealer sealer_;
+  ReplayGuard replay_;
+  std::unique_ptr<ThreadPool> pool_;
+  u64 batch_counter_ = 0;
   size_t accepted_ = 0;
   size_t processed_ = 0;
 };

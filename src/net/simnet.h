@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "util/common.h"
@@ -19,7 +20,12 @@ namespace prio::net {
 
 struct LinkStats {
   u64 bytes = 0;
-  u64 messages = 0;
+  u64 messages = 0;  // physical wire messages
+  // Protocol-level messages carried. The serial pipeline sends one physical
+  // message per protocol message (logical == messages); the batch pipeline
+  // coalesces Q per-submission messages into one wire message, so logical
+  // grows by Q while messages grows by 1.
+  u64 logical = 0;
 };
 
 class SimNetwork {
@@ -40,12 +46,28 @@ class SimNetwork {
     LinkStats& link = links_[from * n_ + to];
     link.bytes += payload.size();
     link.messages += 1;
+    link.logical += 1;
     return payload;
   }
 
+  // Coalesced send: one wire message carrying `logical` protocol-level
+  // messages (the batch pipeline ships Q (d, e) pairs in one message).
+  void send_coalesced(size_t from, size_t to, size_t bytes, u64 logical) {
+    require(from < n_ && to < n_, "SimNetwork::send_coalesced: bad node id");
+    LinkStats& link = links_[from * n_ + to];
+    link.bytes += bytes;
+    link.messages += 1;
+    link.logical += logical;
+  }
+
   // Marks the end of a communication round (all sends in a round overlap,
-  // so a round costs one latency).
-  void end_round() { ++rounds_; }
+  // so a round costs one latency). `submissions` is how many protocol
+  // instances the round covered: 1 for the serial pipeline, Q for a batch
+  // round, so rounds-per-submission stays comparable across pipelines.
+  void end_round(u64 submissions = 1) {
+    ++rounds_;
+    round_submissions_ += submissions;
+  }
 
   const LinkStats& link(size_t from, size_t to) const {
     return links_[from * n_ + to];
@@ -73,12 +95,29 @@ class SimNetwork {
   }
 
   u64 rounds() const { return rounds_; }
+  // Protocol instances covered by the recorded rounds; with batching this
+  // exceeds rounds(), and rounds()/round_submissions() is the per-submission
+  // round amortization factor.
+  u64 round_submissions() const { return round_submissions_; }
   // Simulated wall-clock latency cost of the recorded rounds.
   u64 simulated_latency_us() const { return rounds_ * latency_us_; }
+
+  u64 total_messages() const {
+    u64 total = 0;
+    for (const auto& l : links_) total += l.messages;
+    return total;
+  }
+
+  u64 total_logical_messages() const {
+    u64 total = 0;
+    for (const auto& l : links_) total += l.logical;
+    return total;
+  }
 
   void reset_counters() {
     for (auto& l : links_) l = LinkStats{};
     rounds_ = 0;
+    round_submissions_ = 0;
   }
 
  private:
@@ -86,6 +125,7 @@ class SimNetwork {
   u64 latency_us_;
   std::vector<LinkStats> links_;
   u64 rounds_ = 0;
+  u64 round_submissions_ = 0;
 };
 
 // Accumulates per-server compute time; the throughput harness divides work
@@ -101,8 +141,8 @@ class BusyClock {
         : clock_(clock), node_(node), start_(std::chrono::steady_clock::now()) {}
     ~Scope() {
       auto end = std::chrono::steady_clock::now();
-      clock_.busy_us_[node_] +=
-          std::chrono::duration<double, std::micro>(end - start_).count();
+      clock_.add_busy(node_,
+          std::chrono::duration<double, std::micro>(end - start_).count());
     }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
@@ -115,6 +155,21 @@ class BusyClock {
 
   Scope measure(size_t node) { return Scope(*this, node); }
 
+  // Microseconds elapsed since t0, for workers that time a task themselves
+  // before crediting it via add_busy.
+  static double us_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  // Thread-safe accumulation: the batch pipeline's workers time their own
+  // tasks and credit the busy time here from pool threads.
+  void add_busy(size_t node, double us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_us_[node] += us;
+  }
+
   double busy_us(size_t node) const { return busy_us_[node]; }
   double max_busy_us() const {
     double m = 0;
@@ -124,6 +179,7 @@ class BusyClock {
   void reset() { std::fill(busy_us_.begin(), busy_us_.end(), 0.0); }
 
  private:
+  std::mutex mu_;
   std::vector<double> busy_us_;
 };
 

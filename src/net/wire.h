@@ -10,12 +10,25 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "field/field.h"
 #include "util/common.h"
 
 namespace prio::net {
+
+// Encoded sizes of the vectorized round payloads (Writer::field_pairs and
+// Writer::bitmap below). The simulated network accounts message sizes
+// without always materializing the bytes, so these are the single source
+// of truth for the layout arithmetic.
+template <PrimeField F>
+constexpr size_t field_pairs_len(size_t n) {
+  return 4 + n * 2 * F::kByteLen;  // u32 count + n (a, b) pairs
+}
+constexpr size_t bitmap_len(size_t n) {
+  return 4 + (n + 7) / 8;  // u32 count + packed bits
+}
 
 class Writer {
  public:
@@ -42,6 +55,32 @@ class Writer {
   void field_vector(std::span<const F> vs) {
     u32_(static_cast<u32>(vs.size()));
     for (const F& v : vs) field(v);
+  }
+
+  // Vectorized round payloads for the batch pipeline: Q per-submission
+  // (d, e)-style pairs coalesced into one length-prefixed message.
+  template <PrimeField F>
+  void field_pairs(std::span<const std::pair<F, F>> ps) {
+    u32_(static_cast<u32>(ps.size()));
+    for (const auto& [a, b] : ps) {
+      field(a);
+      field(b);
+    }
+  }
+
+  // Packed accept/reject bitmap (batch round 4): bit q of the payload is
+  // the decision for submission q.
+  void bitmap(std::span<const u8> bits) {
+    u32_(static_cast<u32>(bits.size()));
+    u8 acc = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) acc |= static_cast<u8>(1u << (i % 8));
+      if (i % 8 == 7) {
+        buf_.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (bits.size() % 8 != 0) buf_.push_back(acc);
   }
 
   const std::vector<u8>& data() const { return buf_; }
@@ -95,6 +134,38 @@ class Reader {
       ok_ = false;
       return F::zero();
     }
+  }
+
+  template <PrimeField F>
+  std::vector<std::pair<F, F>> field_pairs(size_t max_len = 1u << 24) {
+    u32 len = u32_();
+    if (!ok_ || len > max_len || remaining() < u64{len} * 2 * F::kByteLen) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::pair<F, F>> out;
+    out.reserve(len);
+    for (u32 i = 0; i < len && ok_; ++i) {
+      F a = field<F>();
+      F b = field<F>();
+      out.emplace_back(a, b);
+    }
+    return out;
+  }
+
+  std::vector<u8> bitmap(size_t max_len = 1u << 24) {
+    u32 len = u32_();
+    const size_t packed = (len + 7) / 8;
+    if (!ok_ || len > max_len || remaining() < packed) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<u8> out(len);
+    for (u32 i = 0; i < len; ++i) {
+      out[i] = (data_[pos_ + i / 8] >> (i % 8)) & 1;
+    }
+    pos_ += packed;
+    return out;
   }
 
   template <PrimeField F>

@@ -177,6 +177,17 @@ class VerificationContext {
     row_2n_ = lagrange_eval_row(dom_2n_, r_);
     out_coeffs_.resize(circuit_->outputs().size());
     for (F& c : out_coeffs_) c = rng_.field_element<F>();
+    since_refresh_ = 0;
+  }
+
+  // Batch-friendly refresh policy. r may be reused for at most
+  // `refresh_every` submissions; the pipelines track submissions since the
+  // last refresh here rather than testing processed % refresh_every, which
+  // silently skips the boundary when a batch of Q crosses it.
+  size_t submissions_since_refresh() const { return since_refresh_; }
+  void note_submissions(size_t count) { since_refresh_ += count; }
+  bool refresh_due(size_t refresh_every, size_t upcoming = 1) const {
+    return since_refresh_ + upcoming > refresh_every;
   }
 
   const Circuit<F>& circuit() const { return *circuit_; }
@@ -208,6 +219,7 @@ class VerificationContext {
   std::vector<F> row_n_;
   std::vector<F> row_2n_;
   std::vector<F> out_coeffs_;
+  size_t since_refresh_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,120 @@
+// Fixed-size worker pool used by the batched verification pipeline
+// (core/deployment.h process_batch). The pool exists so per-server SNIP
+// local checks for a batch of Q submissions run concurrently while all
+// network accounting stays on the coordinating thread.
+//
+// Scope is deliberately small: one blocking parallel_for at a time, no
+// task queues or futures. Work items are claimed by an atomic counter, so
+// uneven item costs (e.g. explicit-share vs PRG-seed expansion) balance
+// automatically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace prio {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks the hardware concurrency. A pool of size 1
+  // spawns no threads at all: parallel_for runs inline on the caller.
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    size_ = num_threads;
+    if (size_ == 1) return;
+    workers_.reserve(size_);
+    for (size_t w = 0; w < size_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return size_; }
+
+  // Runs fn(index, worker) for every index in [0, n) and blocks until all
+  // invocations have returned. `worker` is a stable id in [0, size()),
+  // usable to index per-worker scratch (e.g. the batch pipeline's
+  // per-thread accumulators). The first exception thrown by any invocation
+  // is rethrown here after the loop drains.
+  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (size_ == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i, 0);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = size_;
+    error_ = nullptr;
+    ++generation_;
+    wake_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    job_fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop(size_t worker_id) {
+    u64 seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      const auto* fn = job_fn_;
+      const size_t n = job_n_;
+      lock.unlock();
+      for (;;) {
+        size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          (*fn)(i, worker_id);
+        } catch (...) {
+          std::lock_guard<std::mutex> guard(mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  size_t size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  u64 generation_ = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  size_t job_n_ = 0;
+  std::atomic<size_t> next_index_{0};
+  size_t active_workers_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace prio

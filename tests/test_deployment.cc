@@ -12,6 +12,7 @@
 #include "baseline/no_privacy.h"
 #include "baseline/no_robustness.h"
 #include "core/deployment.h"
+#include "core/dp.h"
 #include "core/mpc_deployment.h"
 
 namespace prio {
@@ -151,6 +152,137 @@ TEST(DeploymentTest, RefreshKeepsAccepting) {
     EXPECT_TRUE(dep.process_submission(cid, dep.client_upload(1, cid, rng)));
   }
   EXPECT_EQ(static_cast<u64>(dep.publish()), 10u);
+}
+
+// ---------- sealing regressions ----------
+
+TEST(DeploymentTest, DoubleSubmissionUsesFreshSealingKeys) {
+  // Regression: seal_for_server used an all-zero nonce under a key derived
+  // only from (client_id, server), so a client submitting twice reused the
+  // (key, nonce) pair -- XOR of the two ciphertexts leaked the XOR of the
+  // plaintexts. The fix binds a per-client submission counter into the
+  // HKDF label and the nonce.
+  afe::IntegerSum<F> afe(4);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(30);
+  auto blobs1 = dep.client_upload(3, 7, rng);
+  auto blobs2 = dep.client_upload(5, 7, rng);
+
+  // The submission counter advanced: seq prefix 0 then 1.
+  auto seq_of = [](const std::vector<u8>& blob) {
+    u64 seq = 0;
+    for (int i = 0; i < 8; ++i) seq |= static_cast<u64>(blob[i]) << (8 * i);
+    return seq;
+  };
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(seq_of(blobs1[j]), 0u) << j;
+    EXPECT_EQ(seq_of(blobs2[j]), 1u) << j;
+  }
+
+  // Grafting submission 2's counter onto submission 1's ciphertext must
+  // fail: the counter is bound into the key derivation, not just carried.
+  auto grafted = blobs1;
+  for (size_t j = 0; j < 3; ++j) {
+    std::copy(blobs2[j].begin(), blobs2[j].begin() + 8, grafted[j].begin());
+  }
+  EXPECT_FALSE(dep.process_submission(7, grafted));
+
+  // The genuine submissions both still verify and aggregate.
+  EXPECT_TRUE(dep.process_submission(7, blobs1));
+  EXPECT_TRUE(dep.process_submission(7, blobs2));
+  EXPECT_EQ(static_cast<u64>(dep.publish()), 8u);
+}
+
+TEST(DeploymentTest, SwappedAndReplayedBlobsRejected) {
+  afe::IntegerSum<F> afe(4);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(31);
+
+  // A blob sealed for server 0 delivered to server 1 (and vice versa) must
+  // not open: the server index is bound into the key derivation.
+  auto blobs = dep.client_upload(2, 1, rng);
+  std::swap(blobs[0], blobs[1]);
+  EXPECT_FALSE(dep.process_submission(1, blobs));
+
+  // A stale blob replayed from an earlier submission decrypts (it is a
+  // genuine old ciphertext) but its share is inconsistent with the other
+  // servers' shares, so the SNIP rejects the spliced submission.
+  auto old_blobs = dep.client_upload(2, 2, rng);
+  auto new_blobs = dep.client_upload(2, 2, rng);
+  auto spliced = new_blobs;
+  spliced[0] = old_blobs[0];
+  EXPECT_FALSE(dep.process_submission(2, spliced));
+
+  EXPECT_EQ(dep.accepted(), 0u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), 0u);
+}
+
+TEST(DeploymentTest, WholesaleReplayRejected) {
+  // A byte-identical re-delivery of an accepted submission must not be
+  // aggregated twice: the servers track a per-client counter floor that
+  // advances on accept.
+  afe::IntegerSum<F> afe(4);
+  PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
+  SecureRng rng(34);
+  auto blobs = dep.client_upload(6, 9, rng);
+  EXPECT_TRUE(dep.process_submission(9, blobs));
+  EXPECT_FALSE(dep.process_submission(9, blobs));  // exact replay
+  EXPECT_FALSE(dep.process_submission(9, blobs));
+  // An out-of-order stale submission (lower counter) is also refused.
+  auto early = dep.client_upload(7, 10, rng);  // seq 0 for client 10
+  auto late = dep.client_upload(8, 10, rng);   // seq 1
+  EXPECT_TRUE(dep.process_submission(10, late));
+  EXPECT_FALSE(dep.process_submission(10, early));
+  EXPECT_EQ(dep.accepted(), 2u);
+  EXPECT_EQ(static_cast<u64>(dep.publish()), 14u);
+}
+
+// ---------- noise-rng regressions ----------
+
+TEST(DeploymentTest, NoiseIsNotDerivedFromMasterSeed) {
+  // Regression: publish_with_noise seeded every server's "local and
+  // secret" noise RNG deterministically from master_seed, so anyone who
+  // knew the deployment seed could subtract the noise. Two identical
+  // deployments therefore published identical noisy totals. Noise now
+  // comes from per-server OS entropy, so the runs must diverge.
+  SecureRng rng(32);
+  afe::BitVectorSum<F> afe(16);
+  dp::DistributedDiscreteLaplace noise(/*epsilon=*/0.5, /*sensitivity=*/1.0,
+                                       /*num_servers=*/3);
+  PrioDeployment<F, afe::BitVectorSum<F>> dep1(&afe, {.num_servers = 3});
+  PrioDeployment<F, afe::BitVectorSum<F>> dep2(&afe, {.num_servers = 3});
+  for (u64 cid = 0; cid < 4; ++cid) {
+    std::vector<u8> bits(16, 1);
+    auto blobs = dep1.client_upload(bits, cid, rng);
+    EXPECT_TRUE(dep1.process_submission(cid, blobs));
+    EXPECT_TRUE(dep2.process_submission(cid, blobs));
+  }
+  auto noisy1 = dep1.publish_with_noise(noise);
+  auto noisy2 = dep2.publish_with_noise(noise);
+  // 16 independent DLap draws coinciding across both runs is astronomically
+  // unlikely; equality here means the noise is predictable again.
+  EXPECT_NE(noisy1, noisy2);
+}
+
+TEST(DeploymentTest, NoiseSeedOverrideIsDeterministic) {
+  // The test-only override pins the per-server noise RNGs for
+  // reproducible runs.
+  SecureRng rng(33);
+  afe::IntegerSum<F> afe(4);
+  dp::DistributedDiscreteLaplace noise(/*epsilon=*/1.0, /*sensitivity=*/1.0,
+                                       /*num_servers=*/3);
+  DeploymentOptions opts;
+  opts.num_servers = 3;
+  opts.noise_seed = 99;
+  PrioDeployment<F, afe::IntegerSum<F>> dep1(&afe, opts);
+  PrioDeployment<F, afe::IntegerSum<F>> dep2(&afe, opts);
+  for (u64 cid = 0; cid < 4; ++cid) {
+    auto blobs = dep1.client_upload(1, cid, rng);
+    EXPECT_TRUE(dep1.process_submission(cid, blobs));
+    EXPECT_TRUE(dep2.process_submission(cid, blobs));
+  }
+  EXPECT_EQ(static_cast<u64>(dep1.publish_with_noise(noise)),
+            static_cast<u64>(dep2.publish_with_noise(noise)));
 }
 
 // ---------- Prio-MPC variant ----------
