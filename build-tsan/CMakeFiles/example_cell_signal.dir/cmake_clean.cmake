@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cell_signal.dir/examples/cell_signal.cpp.o"
+  "CMakeFiles/example_cell_signal.dir/examples/cell_signal.cpp.o.d"
+  "example_cell_signal"
+  "example_cell_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cell_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

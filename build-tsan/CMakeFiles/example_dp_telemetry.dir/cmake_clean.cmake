@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dp_telemetry.dir/examples/dp_telemetry.cpp.o"
+  "CMakeFiles/example_dp_telemetry.dir/examples/dp_telemetry.cpp.o.d"
+  "example_dp_telemetry"
+  "example_dp_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dp_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_linreg_health.dir/examples/linreg_health.cpp.o"
+  "CMakeFiles/example_linreg_health.dir/examples/linreg_health.cpp.o.d"
+  "example_linreg_health"
+  "example_linreg_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_linreg_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_popular_url.dir/examples/popular_url.cpp.o"
+  "CMakeFiles/example_popular_url.dir/examples/popular_url.cpp.o.d"
+  "example_popular_url"
+  "example_popular_url.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_popular_url.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

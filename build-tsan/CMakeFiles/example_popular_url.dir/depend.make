@@ -1,0 +1,2 @@
+# Empty dependencies file for example_popular_url.
+# This may be replaced when dependencies are built.

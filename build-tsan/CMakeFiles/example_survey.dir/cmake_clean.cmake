@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_survey.dir/examples/survey.cpp.o"
+  "CMakeFiles/example_survey.dir/examples/survey.cpp.o.d"
+  "example_survey"
+  "example_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

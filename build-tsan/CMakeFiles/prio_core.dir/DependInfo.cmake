@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afe/afe_anchor.cc" "CMakeFiles/prio_core.dir/src/afe/afe_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/afe/afe_anchor.cc.o.d"
+  "/root/repo/src/baseline/baseline_anchor.cc" "CMakeFiles/prio_core.dir/src/baseline/baseline_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/baseline/baseline_anchor.cc.o.d"
+  "/root/repo/src/circuit/circuit_anchor.cc" "CMakeFiles/prio_core.dir/src/circuit/circuit_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/circuit/circuit_anchor.cc.o.d"
+  "/root/repo/src/core/core_anchor.cc" "CMakeFiles/prio_core.dir/src/core/core_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/core/core_anchor.cc.o.d"
+  "/root/repo/src/crypto/aead.cc" "CMakeFiles/prio_core.dir/src/crypto/aead.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/aead.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "CMakeFiles/prio_core.dir/src/crypto/chacha20.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/hkdf.cc" "CMakeFiles/prio_core.dir/src/crypto/hkdf.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/hkdf.cc.o.d"
+  "/root/repo/src/crypto/pedersen.cc" "CMakeFiles/prio_core.dir/src/crypto/pedersen.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/pedersen.cc.o.d"
+  "/root/repo/src/crypto/poly1305.cc" "CMakeFiles/prio_core.dir/src/crypto/poly1305.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/poly1305.cc.o.d"
+  "/root/repo/src/crypto/rng.cc" "CMakeFiles/prio_core.dir/src/crypto/rng.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/rng.cc.o.d"
+  "/root/repo/src/crypto/schnorr_or.cc" "CMakeFiles/prio_core.dir/src/crypto/schnorr_or.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/schnorr_or.cc.o.d"
+  "/root/repo/src/crypto/schnorr_sig.cc" "CMakeFiles/prio_core.dir/src/crypto/schnorr_sig.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/schnorr_sig.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "CMakeFiles/prio_core.dir/src/crypto/secp256k1.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "CMakeFiles/prio_core.dir/src/crypto/sha256.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/crypto/sha256.cc.o.d"
+  "/root/repo/src/field/fp128.cc" "CMakeFiles/prio_core.dir/src/field/fp128.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/field/fp128.cc.o.d"
+  "/root/repo/src/field/fp64.cc" "CMakeFiles/prio_core.dir/src/field/fp64.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/field/fp64.cc.o.d"
+  "/root/repo/src/field/opcount.cc" "CMakeFiles/prio_core.dir/src/field/opcount.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/field/opcount.cc.o.d"
+  "/root/repo/src/net/net_anchor.cc" "CMakeFiles/prio_core.dir/src/net/net_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/net/net_anchor.cc.o.d"
+  "/root/repo/src/poly/poly_anchor.cc" "CMakeFiles/prio_core.dir/src/poly/poly_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/poly/poly_anchor.cc.o.d"
+  "/root/repo/src/share/share_anchor.cc" "CMakeFiles/prio_core.dir/src/share/share_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/share/share_anchor.cc.o.d"
+  "/root/repo/src/snip/snip_anchor.cc" "CMakeFiles/prio_core.dir/src/snip/snip_anchor.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/snip/snip_anchor.cc.o.d"
+  "/root/repo/src/util/hex.cc" "CMakeFiles/prio_core.dir/src/util/hex.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/util/hex.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/prio_core.dir/src/util/status.cc.o" "gcc" "CMakeFiles/prio_core.dir/src/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprio_core.a"
+)

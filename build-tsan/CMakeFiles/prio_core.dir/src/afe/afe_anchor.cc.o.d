@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/afe/afe_anchor.cc.o: \
+ /root/repo/src/afe/afe_anchor.cc /usr/include/stdc-predef.h

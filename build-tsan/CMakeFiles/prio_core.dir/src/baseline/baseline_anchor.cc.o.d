@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/baseline/baseline_anchor.cc.o: \
+ /root/repo/src/baseline/baseline_anchor.cc /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/circuit/circuit_anchor.cc.o: \
+ /root/repo/src/circuit/circuit_anchor.cc /usr/include/stdc-predef.h

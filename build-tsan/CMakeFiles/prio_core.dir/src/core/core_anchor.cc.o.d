@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/core/core_anchor.cc.o: \
+ /root/repo/src/core/core_anchor.cc /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/net/net_anchor.cc.o: \
+ /root/repo/src/net/net_anchor.cc /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/poly/poly_anchor.cc.o: \
+ /root/repo/src/poly/poly_anchor.cc /usr/include/stdc-predef.h

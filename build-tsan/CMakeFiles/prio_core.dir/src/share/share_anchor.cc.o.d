@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/share/share_anchor.cc.o: \
+ /root/repo/src/share/share_anchor.cc /usr/include/stdc-predef.h

@@ -1,0 +1,2 @@
+CMakeFiles/prio_core.dir/src/snip/snip_anchor.cc.o: \
+ /root/repo/src/snip/snip_anchor.cc /usr/include/stdc-predef.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_afe.dir/tests/test_afe.cc.o"
+  "CMakeFiles/test_afe.dir/tests/test_afe.cc.o.d"
+  "test_afe"
+  "test_afe.pdb"
+  "test_afe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_afe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_share.dir/tests/test_share.cc.o"
+  "CMakeFiles/test_share.dir/tests/test_share.cc.o.d"
+  "test_share"
+  "test_share.pdb"
+  "test_share[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snip.dir/tests/test_snip.cc.o"
+  "CMakeFiles/test_snip.dir/tests/test_snip.cc.o.d"
+  "test_snip"
+  "test_snip.pdb"
+  "test_snip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/test_afe[1]_include.cmake")
+include("/root/repo/build-tsan/test_batch[1]_include.cmake")
+include("/root/repo/build-tsan/test_circuit[1]_include.cmake")
+include("/root/repo/build-tsan/test_crypto[1]_include.cmake")
+include("/root/repo/build-tsan/test_deployment[1]_include.cmake")
+include("/root/repo/build-tsan/test_e2e[1]_include.cmake")
+include("/root/repo/build-tsan/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/test_field[1]_include.cmake")
+include("/root/repo/build-tsan/test_net[1]_include.cmake")
+include("/root/repo/build-tsan/test_poly[1]_include.cmake")
+include("/root/repo/build-tsan/test_share[1]_include.cmake")
+include("/root/repo/build-tsan/test_snip[1]_include.cmake")
