@@ -110,7 +110,7 @@ int main() {
   std::printf("%-22s %12.4f %12.4f\n", "Mul. in field (us)",
               field_mul_us<Fp64>(), field_mul_us<Fp128>());
   for (size_t l : {10, 100, 1000}) {
-    std::printf("L = 10^%zu (s)          %12.4f %12.4f\n",
+    std::printf("L = 10^%d (s)           %12.4f %12.4f\n",
                 l == 10 ? 1 : l == 100 ? 2 : 3, client_time_s<Fp64>(l),
                 client_time_s<Fp128>(l));
   }

@@ -1,0 +1,148 @@
+// prio_client: drives a multi-process Prio deployment over TCP.
+//
+// Simulates N logical clients (ids --first-client .. +--clients), each
+// holding a private bit vector. Every submission is encoded, SNIP-proved,
+// secret-shared, and sealed per server by core/client.h, then delivered to
+// each prio_server over a framed TCP connection. With --tamper-every k,
+// every k-th client's ciphertext is flipped in transit to one server --
+// those submissions must be rejected, demonstrating robustness end to end.
+//
+// With --expect-clients M the client then asks server 0 for the published
+// epoch aggregate and checks it against a local simnet reproduction: the
+// same M clients' inputs run through PrioDeployment::process_batch
+// (core/deployment.h) with the same master seed. The process exits 0 iff
+// the TCP-published aggregate equals the simnet aggregate -- the
+// correctness gate for the whole multi-process runtime. See
+// src/server/prio_server.cc for a full invocation.
+
+#include <cstdio>
+
+#include "afe/bitvec_sum.h"
+#include "core/client.h"
+#include "core/deployment.h"
+#include "server/cli.h"
+#include "server/protocol.h"
+
+using namespace prio;
+
+namespace {
+
+using F = Fp64;
+using Afe = afe::BitVectorSum<F>;
+
+// Deterministic private inputs, so a verifier that knows only the client-id
+// range can reproduce the expected aggregate.
+std::vector<u8> input_bits(u64 cid, size_t len) {
+  std::vector<u8> bits(len, 0);
+  for (size_t i = 0; i < len; ++i) bits[i] = ((cid * 7 + i) % 5 == 0) ? 1 : 0;
+  return bits;
+}
+
+bool tampered(u64 cid, u64 every) { return every > 0 && cid % every == every - 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    server::Flags flags(argc, argv);
+    const auto endpoints = server::parse_server_list(
+        flags.str("servers", "127.0.0.1:9101:9201,127.0.0.1:9102:9202"));
+    const size_t s = endpoints.size();
+    const size_t len = flags.num("len", 16);
+    const u64 first = flags.num("first-client", 0);
+    const u64 n = flags.num("clients", 40);
+    const u64 tamper_every = flags.num("tamper-every", 0);
+    const u64 master_seed = flags.num("master-seed", 1);
+    const u32 epoch = static_cast<u32>(flags.num("epoch", 0));
+    const u64 expect = flags.num("expect-clients", 0);
+
+    Afe afe(len);
+    PrioClient<F, Afe> encoder(&afe, s, master_seed);
+    SecureRng rng = SecureRng::from_os_entropy();
+
+    // One framed connection per server carries all logical clients' blobs.
+    std::vector<net::FramedConn> conns;
+    conns.reserve(s);
+    for (const auto& ep : endpoints) {
+      conns.emplace_back(net::connect_tcp(ep.host, ep.client_port, 15'000));
+    }
+
+    u64 sent = 0;
+    for (u64 cid = first; cid < first + n; ++cid) {
+      auto blobs = encoder.upload(input_bits(cid, len), cid, rng);
+      if (tampered(cid, tamper_every)) blobs[cid % s][12] ^= 1;
+      for (size_t j = 0; j < s; ++j) {
+        net::Writer w;
+        w.u8_(server::kClientSubmit);
+        w.u64_(cid);
+        w.bytes(blobs[j]);
+        conns[j].send_frame(w.data());
+      }
+      for (size_t j = 0; j < s; ++j) {
+        const auto ack_frame = conns[j].recv_frame(15'000);
+        net::Reader r(ack_frame);
+        if (r.u8_() != server::kSubmitAck || r.u8_() != 1 || !r.ok()) {
+          std::fprintf(stderr, "server %zu refused client %llu\n", j,
+                       static_cast<unsigned long long>(cid));
+          return 1;
+        }
+      }
+      ++sent;
+    }
+    std::printf("[client] submitted %llu clients x %zu servers\n",
+                static_cast<unsigned long long>(sent), s);
+
+    if (expect == 0) return 0;
+
+    // Fetch the published aggregate from server 0 (blocks until the epoch
+    // closes server-side).
+    net::Writer ask;
+    ask.u8_(server::kGetAggregate);
+    ask.u32_(epoch);
+    conns[0].send_frame(ask.data());
+    const auto reply = conns[0].recv_frame(60'000);
+    net::Reader r(reply);
+    u8 type = r.u8_();
+    u32 got_epoch = r.u32_();
+    u64 accepted = r.u64_();
+    auto sigma = r.field_vector<F>(len);
+    if (type != server::kAggregate || got_epoch != epoch || !r.ok() ||
+        !r.at_end() || sigma.size() != len) {
+      std::fprintf(stderr, "malformed aggregate reply\n");
+      return 1;
+    }
+    auto tcp_result = afe.decode(std::span<const F>(sigma), accepted);
+
+    // Local ground truth: the same inputs through the simulated deployment.
+    DeploymentOptions opts;
+    opts.num_servers = s;
+    opts.master_seed = master_seed;
+    PrioDeployment<F, Afe> sim(&afe, opts);
+    SecureRng sim_rng = SecureRng::from_os_entropy();
+    std::vector<Submission> subs;
+    for (u64 cid = 0; cid < expect; ++cid) {
+      auto blobs = sim.client_upload(input_bits(cid, len), cid, sim_rng);
+      if (tampered(cid, tamper_every)) blobs[cid % s][12] ^= 1;
+      subs.push_back({cid, std::move(blobs)});
+    }
+    sim.process_batch(std::span<const Submission>(subs));
+    auto sim_result = sim.publish();
+
+    const bool match =
+        tcp_result == sim_result && accepted == sim.accepted();
+    std::printf("[client] epoch %u: accepted %llu/%llu (simnet %zu)\n", epoch,
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(expect), sim.accepted());
+    for (size_t i = 0; i < len && i < 8; ++i) {
+      std::printf("  count[%zu]: tcp=%llu simnet=%llu\n", i,
+                  static_cast<unsigned long long>(tcp_result[i]),
+                  static_cast<unsigned long long>(sim_result[i]));
+    }
+    std::printf("[client] TCP aggregate %s simnet aggregate\n",
+                match ? "MATCHES" : "DIVERGES FROM");
+    return match ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prio_client: fatal: %s\n", e.what());
+    return 1;
+  }
+}

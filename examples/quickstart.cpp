@@ -45,7 +45,7 @@ int main() {
   // the servers reject it without ever seeing the value 50.
   {
     struct RawAfe {
-      using Field = F;
+      using Field [[maybe_unused]] = F;
       using Input = std::vector<F>;
       using Result = u128;
       const afe::IntegerSum<F>* inner;

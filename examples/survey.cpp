@@ -41,7 +41,7 @@ int main() {
   // Ballot stuffing: a client submits 10 instead of a 0/1 answer.
   {
     struct RawAfe {
-      using Field = F;
+      using Field [[maybe_unused]] = F;
       using Input = std::vector<F>;
       using Result = std::vector<u64>;
       const afe::BitVectorSum<F>* inner;

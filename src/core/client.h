@@ -1,0 +1,56 @@
+// Standalone Prio client encoder: turns one private input into the sealed
+// per-server blobs of a submission, with no server state attached.
+//
+// PrioDeployment bundles client and servers in one object because the
+// simulation drives both sides; a real deployment's client knows only the
+// public deployment parameters (AFE, server count, sealing secret). This
+// encoder is that client. It produces bit-identical uploads to
+// PrioDeployment::client_upload for the same (client, submission counter,
+// RNG stream), which is what lets the multi-process runtime's aggregate be
+// checked against a simnet run over the same inputs.
+#pragma once
+
+#include "afe/afe.h"
+#include "core/submission.h"
+#include "crypto/rng.h"
+#include "snip/snip.h"
+
+namespace prio {
+
+template <PrimeField F, typename Afe>
+class PrioClient {
+ public:
+  PrioClient(const Afe* afe, size_t num_servers, u64 master_seed)
+      : afe_(afe),
+        num_servers_(num_servers),
+        prover_(&afe->valid_circuit()),
+        sealer_(master_seed_bytes(master_seed)) {
+    require(num_servers >= 2, "PrioClient: need >= 2 servers");
+  }
+
+  const Afe& afe() const { return *afe_; }
+  size_t num_servers() const { return num_servers_; }
+
+  // Encodes, SNIP-proves, shares, and seals one input. Each call advances
+  // the client's submission counter. *seq_out (if given) receives the
+  // counter used, so a caller pairing blobs with transport frames can name
+  // the submission.
+  std::vector<std::vector<u8>> upload(const typename Afe::Input& in,
+                                      u64 client_id, SecureRng& rng,
+                                      u64* seq_out = nullptr) const {
+    std::vector<F> encoding = afe_->encode(in);
+    std::vector<F> ext = prover_.build_extended_input(encoding, rng);
+    const u64 seq = sealer_.next_seq(client_id);
+    if (seq_out) *seq_out = seq;
+    return seal_shared_vector<F>(sealer_, std::span<const F>(ext),
+                                 num_servers_, client_id, seq, rng);
+  }
+
+ private:
+  const Afe* afe_;
+  size_t num_servers_;
+  SnipProver<F> prover_;
+  SubmissionSealer sealer_;
+};
+
+}  // namespace prio

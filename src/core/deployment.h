@@ -32,6 +32,7 @@
 #include <unordered_map>
 
 #include "afe/afe.h"
+#include "core/submission.h"
 #include "crypto/rng.h"
 #include "net/channel.h"
 #include "net/simnet.h"
@@ -54,129 +55,9 @@ struct DeploymentOptions {
   std::optional<u64> noise_seed;
 };
 
-// Client-side upload kinds: PRG seed share or explicit share.
-inline constexpr u8 kShareSeed = 0;
-inline constexpr u8 kShareExplicit = 1;
-
-// One client submission as the servers receive it: the client id plus one
-// sealed blob per server.
-struct Submission {
-  u64 client_id = 0;
-  std::vector<std::vector<u8>> blobs;
-};
-
-// Expands the 64-bit deployment master seed into the 32-byte master secret
-// the sealing keys derive from.
-inline std::vector<u8> master_seed_bytes(u64 seed) {
-  std::vector<u8> m(32, 0);
-  for (int i = 0; i < 8; ++i) m[i] = static_cast<u8>(seed >> (8 * i));
-  return m;
-}
-
-// Client->server submission sealing, shared by the pipeline variants.
-// Per-(client, submission) keys: the submission counter is bound into the
-// HKDF label AND supplies the nonce, so two submissions from one client
-// never reuse a (key, nonce) pair, and a blob sealed for server j never
-// opens at server i != j. Blob layout: [u64 seq (LE)] || AEAD ciphertext;
-// tampering with the cleartext seq changes the derived key and the AEAD
-// open fails.
-class SubmissionSealer {
- public:
-  explicit SubmissionSealer(std::span<const u8> master)
-      : master_(master.begin(), master.end()) {}
-
-  // Advances the per-client submission counter (thread-safe).
-  u64 next_seq(u64 client_id) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return next_seq_[client_id]++;
-  }
-
-  std::vector<u8> seal(u64 client_id, size_t server, u64 seq,
-                       std::span<const u8> payload) const {
-    net::Writer blob;
-    blob.u64_(seq);
-    blob.raw(Aead::seal(key(client_id, server, seq), nonce(seq), {}, payload));
-    return blob.take();
-  }
-
-  // On success, *seq_out (if given) receives the blob's submission counter
-  // so the caller can enforce replay freshness.
-  std::optional<std::vector<u8>> open(u64 client_id, size_t server,
-                                      std::span<const u8> blob,
-                                      u64* seq_out = nullptr) const {
-    net::Reader prefix(blob);
-    u64 seq = prefix.u64_();
-    if (!prefix.ok()) return std::nullopt;
-    if (seq_out) *seq_out = seq;
-    return Aead::open(key(client_id, server, seq), nonce(seq), {},
-                      blob.subspan(8));
-  }
-
- private:
-  std::array<u8, 32> key(u64 client_id, size_t server, u64 seq) const {
-    net::Writer label;
-    label.u64_(client_id);
-    label.u64_(server);
-    label.u64_(seq);
-    auto k = hkdf_sha256(master_, label.data(), {}, 32);
-    std::array<u8, 32> out;
-    std::copy(k.begin(), k.end(), out.begin());
-    return out;
-  }
-
-  static std::array<u8, 12> nonce(u64 seq) {
-    std::array<u8, 12> n{};
-    for (int i = 0; i < 8; ++i) n[i] = static_cast<u8>(seq >> (8 * i));
-    return n;
-  }
-
-  std::vector<u8> master_;
-  mutable std::mutex mu_;
-  mutable std::unordered_map<u64, u64> next_seq_;
-};
-
-// Opens a sealed blob and decodes it into a length-`len` share vector
-// (PRG-seed shares are expanded, explicit shares parsed).
-template <PrimeField F>
-std::optional<std::vector<F>> open_sealed_share(const SubmissionSealer& sealer,
-                                                u64 client_id, size_t server,
-                                                std::span<const u8> blob,
-                                                size_t len,
-                                                u64* seq_out = nullptr) {
-  auto pt = sealer.open(client_id, server, blob, seq_out);
-  if (!pt) return std::nullopt;
-  net::Reader r(*pt);
-  u8 kind = r.u8_();
-  if (!r.ok()) return std::nullopt;
-  if (kind == kShareSeed) {
-    if (r.remaining() != 32) return std::nullopt;
-    std::vector<u8> seed = {pt->begin() + 1, pt->end()};
-    return expand_share_seed<F>(seed, len);
-  }
-  if (kind == kShareExplicit) {
-    auto v = r.field_vector<F>();
-    if (!r.ok() || !r.at_end() || v.size() != len) return std::nullopt;
-    return v;
-  }
-  return std::nullopt;
-}
-
-// Server-side replay guard (replicated high-water mark over the cleartext
-// submission counters): a submission is fresh iff its counter is at or
-// above the client's floor. The floor advances only when a submission is
-// accepted, so a byte-identical replay of an accepted submission can never
-// be aggregated twice, while a rejected counter does not burn the slot.
-class ReplayGuard {
- public:
-  bool fresh(u64 client_id, u64 seq) const {
-    auto it = floor_.find(client_id);
-    return it == floor_.end() || seq >= it->second;
-  }
-  void accept(u64 client_id, u64 seq) { floor_[client_id] = seq + 1; }
-
- private:
-  std::unordered_map<u64, u64> floor_;
-};
+// Submission sealing, the Submission struct, and the replay guard live in
+// core/submission.h, shared with the standalone client encoder and the
+// distributed multi-process runtime.
 
 // Splits a batch into refresh-window-sized chunks so the servers' secret
 // point r never serves more than `window` submissions, concatenating the
@@ -262,23 +143,9 @@ class PrioDeployment {
                                              SecureRng& rng) const {
     std::vector<F> encoding = afe_->encode(in);
     std::vector<F> ext = prover_.build_extended_input(encoding, rng);
-    auto cs = share_vector_compressed<F>(ext, opts_.num_servers, rng);
-
-    const u64 seq = sealer_.next_seq(client_id);
-    std::vector<std::vector<u8>> blobs;
-    blobs.reserve(opts_.num_servers);
-    for (size_t j = 0; j < opts_.num_servers; ++j) {
-      net::Writer w;
-      if (j + 1 < opts_.num_servers) {
-        w.u8_(kShareSeed);
-        w.raw(cs.seeds[j]);
-      } else {
-        w.u8_(kShareExplicit);
-        w.field_vector<F>(std::span<const F>(cs.explicit_share));
-      }
-      blobs.push_back(sealer_.seal(client_id, j, seq, w.data()));
-    }
-    return blobs;
+    return seal_shared_vector<F>(sealer_, std::span<const F>(ext),
+                                 opts_.num_servers, client_id,
+                                 sealer_.next_seq(client_id), rng);
   }
 
   // -------------------------------------------------------------------

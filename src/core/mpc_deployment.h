@@ -62,22 +62,9 @@ class PrioMpcDeployment {
     flat.reserve(encoding.size() + triple_ext.size());
     flat.insert(flat.end(), encoding.begin(), encoding.end());
     flat.insert(flat.end(), triple_ext.begin(), triple_ext.end());
-    auto cs = share_vector_compressed<F>(flat, opts_.num_servers, rng);
-
-    const u64 seq = sealer_.next_seq(client_id);
-    std::vector<std::vector<u8>> blobs;
-    for (size_t j = 0; j < opts_.num_servers; ++j) {
-      net::Writer w;
-      if (j + 1 < opts_.num_servers) {
-        w.u8_(kShareSeed);
-        w.raw(cs.seeds[j]);
-      } else {
-        w.u8_(kShareExplicit);
-        w.field_vector<F>(std::span<const F>(cs.explicit_share));
-      }
-      blobs.push_back(sealer_.seal(client_id, j, seq, w.data()));
-    }
-    return blobs;
+    return seal_shared_vector<F>(sealer_, std::span<const F>(flat),
+                                 opts_.num_servers, client_id,
+                                 sealer_.next_seq(client_id), rng);
   }
 
   bool process_submission(u64 client_id,

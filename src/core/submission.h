@@ -1,0 +1,183 @@
+// Client submissions and their sealing, shared by every pipeline variant:
+// the in-process deployments (core/deployment.h, core/mpc_deployment.h),
+// the per-input client encoder (core/client.h), and the distributed
+// multi-process runtime (server/node.h).
+//
+// A submission is one sealed blob per server. Per-(client, submission)
+// keys: the submission counter is bound into the HKDF label AND supplies
+// the nonce, so two submissions from one client never reuse a (key, nonce)
+// pair, and a blob sealed for server j never opens at server i != j. Blob
+// layout: [u64 seq (LE)] || AEAD ciphertext; tampering with the cleartext
+// seq changes the derived key and the AEAD open fails.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/aead.h"
+#include "crypto/hkdf.h"
+#include "net/wire.h"
+#include "share/share.h"
+#include "util/common.h"
+
+namespace prio {
+
+// Client-side upload kinds: PRG seed share or explicit share.
+inline constexpr u8 kShareSeed = 0;
+inline constexpr u8 kShareExplicit = 1;
+
+// One client submission as the servers receive it: the client id plus one
+// sealed blob per server.
+struct Submission {
+  u64 client_id = 0;
+  std::vector<std::vector<u8>> blobs;
+};
+
+// Expands the 64-bit deployment master seed into the 32-byte master secret
+// the sealing keys derive from.
+inline std::vector<u8> master_seed_bytes(u64 seed) {
+  std::vector<u8> m(32, 0);
+  for (int i = 0; i < 8; ++i) m[i] = static_cast<u8>(seed >> (8 * i));
+  return m;
+}
+
+// Client->server submission sealing, shared by the pipeline variants.
+class SubmissionSealer {
+ public:
+  explicit SubmissionSealer(std::span<const u8> master)
+      : master_(master.begin(), master.end()) {}
+
+  // Advances the per-client submission counter (thread-safe).
+  u64 next_seq(u64 client_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_[client_id]++;
+  }
+
+  std::vector<u8> seal(u64 client_id, size_t server, u64 seq,
+                       std::span<const u8> payload) const {
+    net::Writer blob;
+    blob.u64_(seq);
+    blob.raw(Aead::seal(key(client_id, server, seq), nonce(seq), {}, payload));
+    return blob.take();
+  }
+
+  // On success, *seq_out (if given) receives the blob's submission counter
+  // so the caller can enforce replay freshness.
+  std::optional<std::vector<u8>> open(u64 client_id, size_t server,
+                                      std::span<const u8> blob,
+                                      u64* seq_out = nullptr) const {
+    net::Reader prefix(blob);
+    u64 seq = prefix.u64_();
+    if (!prefix.ok()) return std::nullopt;
+    if (seq_out) *seq_out = seq;
+    return Aead::open(key(client_id, server, seq), nonce(seq), {},
+                      blob.subspan(8));
+  }
+
+ private:
+  std::array<u8, 32> key(u64 client_id, size_t server, u64 seq) const {
+    net::Writer label;
+    label.u64_(client_id);
+    label.u64_(server);
+    label.u64_(seq);
+    auto k = hkdf_sha256(master_, label.data(), {}, 32);
+    std::array<u8, 32> out;
+    std::copy(k.begin(), k.end(), out.begin());
+    return out;
+  }
+
+  static std::array<u8, 12> nonce(u64 seq) {
+    std::array<u8, 12> n{};
+    for (int i = 0; i < 8; ++i) n[i] = static_cast<u8>(seq >> (8 * i));
+    return n;
+  }
+
+  std::vector<u8> master_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<u64, u64> next_seq_;
+};
+
+// Splits a flat extended vector into PRG-compressed per-server shares
+// (Appendix I: shares 0..s-2 are seeds, share s-1 is explicit) and seals
+// each one for its server under the given submission counter. Both
+// deployment variants and the standalone client encoder build their uploads
+// through this single path.
+template <PrimeField F>
+std::vector<std::vector<u8>> seal_shared_vector(const SubmissionSealer& sealer,
+                                                std::span<const F> flat,
+                                                size_t num_servers,
+                                                u64 client_id, u64 seq,
+                                                SecureRng& rng) {
+  auto cs = share_vector_compressed<F>(flat, num_servers, rng);
+  std::vector<std::vector<u8>> blobs;
+  blobs.reserve(num_servers);
+  for (size_t j = 0; j < num_servers; ++j) {
+    net::Writer w;
+    if (j + 1 < num_servers) {
+      w.u8_(kShareSeed);
+      w.raw(cs.seeds[j]);
+    } else {
+      w.u8_(kShareExplicit);
+      w.field_vector<F>(std::span<const F>(cs.explicit_share));
+    }
+    blobs.push_back(sealer.seal(client_id, j, seq, w.data()));
+  }
+  return blobs;
+}
+
+// Opens a sealed blob and decodes it into a length-`len` share vector
+// (PRG-seed shares are expanded, explicit shares parsed).
+template <PrimeField F>
+std::optional<std::vector<F>> open_sealed_share(const SubmissionSealer& sealer,
+                                                u64 client_id, size_t server,
+                                                std::span<const u8> blob,
+                                                size_t len,
+                                                u64* seq_out = nullptr) {
+  auto pt = sealer.open(client_id, server, blob, seq_out);
+  if (!pt) return std::nullopt;
+  net::Reader r(*pt);
+  u8 kind = r.u8_();
+  if (!r.ok()) return std::nullopt;
+  if (kind == kShareSeed) {
+    if (r.remaining() != 32) return std::nullopt;
+    std::vector<u8> seed = {pt->begin() + 1, pt->end()};
+    return expand_share_seed<F>(seed, len);
+  }
+  if (kind == kShareExplicit) {
+    auto v = r.field_vector<F>();
+    if (!r.ok() || !r.at_end() || v.size() != len) return std::nullopt;
+    return v;
+  }
+  return std::nullopt;
+}
+
+// Server-side replay guard (replicated high-water mark over the cleartext
+// submission counters): a submission is fresh iff its counter is at or
+// above the client's floor. The floor advances only when a submission is
+// accepted, so a byte-identical replay of an accepted submission can never
+// be aggregated twice, while a rejected counter does not burn the slot.
+// Every server in a distributed run applies the same rule to the same
+// (client, seq) stream in the same order, so the floors stay replicated
+// without coordination; floors() / set_floor() serialize them across a
+// server restart.
+class ReplayGuard {
+ public:
+  bool fresh(u64 client_id, u64 seq) const {
+    // The all-ones counter is never fresh: accepting it would wrap the
+    // floor to 0 and make its own replays fresh forever. Honest clients
+    // count up from 0 and cannot reach it.
+    if (seq == ~u64{0}) return false;
+    auto it = floor_.find(client_id);
+    return it == floor_.end() || seq >= it->second;
+  }
+  void accept(u64 client_id, u64 seq) { floor_[client_id] = seq + 1; }
+
+  const std::unordered_map<u64, u64>& floors() const { return floor_; }
+  void set_floor(u64 client_id, u64 floor) { floor_[client_id] = floor; }
+
+ private:
+  std::unordered_map<u64, u64> floor_;
+};
+
+}  // namespace prio

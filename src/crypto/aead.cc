@@ -49,7 +49,9 @@ std::vector<u8> Aead::seal(std::span<const u8> key, std::span<const u8> nonce,
   require(key.size() == kKeyLen, "Aead::seal: key must be 32 bytes");
   require(nonce.size() == kNonceLen, "Aead::seal: nonce must be 12 bytes");
   std::vector<u8> out(plaintext.size() + kTagLen);
-  std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  if (!plaintext.empty()) {
+    std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  }
   ChaCha20::xor_stream(key, 1, nonce,
                        std::span<u8>(out.data(), plaintext.size()));
   auto otk = poly_key(key, nonce);

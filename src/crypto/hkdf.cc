@@ -10,7 +10,7 @@ std::array<u8, Sha256::kDigestLen> hmac_sha256(std::span<const u8> key,
   if (key.size() > Sha256::kBlockLen) {
     auto d = Sha256::digest(key);
     std::memcpy(k, d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(k, key.data(), key.size());
   }
   u8 ipad[Sha256::kBlockLen], opad[Sha256::kBlockLen];

@@ -67,6 +67,7 @@ void Poly1305::process_block(const u8* block, u32 hibit) {
 }
 
 Poly1305& Poly1305::update(std::span<const u8> data) {
+  if (data.empty()) return *this;  // keep memcpy away from a null span
   size_t off = 0;
   if (buf_len_ > 0) {
     size_t n = std::min(data.size(), buf_.size() - buf_len_);

@@ -58,6 +58,7 @@ void Sha256::compress(const u8* block) {
 }
 
 Sha256& Sha256::update(std::span<const u8> data) {
+  if (data.empty()) return *this;  // keep memcpy away from a null span
   total_len_ += data.size();
   size_t off = 0;
   if (buf_len_ > 0) {

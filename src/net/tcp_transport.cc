@@ -1,0 +1,266 @@
+#include "net/tcp_transport.h"
+
+#include "net/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace prio::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + " (errno=" + std::to_string(errno) + ")");
+}
+
+sockaddr_in make_addr(const std::string& host, u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(u16 port, const std::string& bind_host) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket()");
+  sock_ = Socket(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(bind_host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail("bind(" + bind_host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) != 0) fail("listen()");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+std::optional<Socket> TcpListener::accept_conn(int timeout_ms) {
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;  // caller loops; treat as timeout
+    fail("poll(listener)");
+  }
+  if (rc == 0) return std::nullopt;
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    fail("accept()");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Socket connect_tcp(const std::string& host, u16 port, int total_timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(total_timeout_ms);
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket()");
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    // Peer not up yet (or listen backlog full): retry until the deadline.
+    if (ms_left(deadline) == 0) {
+      throw TransportError("connect to " + host + ":" + std::to_string(port) +
+                           " timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void FramedConn::send_frame(std::span<const u8> payload) {
+  std::vector<u8> frame = encode_frame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(sock_.fd(), frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send()");
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::optional<std::vector<u8>> FramedConn::try_recv_frame(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (auto frame = decoder_.next()) return frame;
+    if (decoder_.corrupt()) {
+      throw TransportError("corrupt frame (length prefix over limit)");
+    }
+    pollfd pfd{sock_.fd(), POLLIN, 0};
+    int rc = ::poll(&pfd, 1, ms_left(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail("poll()");
+    }
+    if (rc == 0) return std::nullopt;  // timeout
+    u8 buf[16384];
+    ssize_t n = ::recv(sock_.fd(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      fail("recv()");
+    }
+    if (n == 0) {  // peer closed
+      eof_ = true;
+      return std::nullopt;
+    }
+    decoder_.feed(std::span<const u8>(buf, static_cast<size_t>(n)));
+  }
+}
+
+std::vector<u8> FramedConn::recv_frame(int timeout_ms) {
+  auto frame = try_recv_frame(timeout_ms);
+  if (!frame) throw TransportError("recv_frame: timeout or peer closed");
+  return std::move(*frame);
+}
+
+namespace {
+
+// The hello is sealed under a per-(dialer, acceptor) channel derived from
+// the mesh secret, so only a holder of the secret can claim a peer slot.
+SecureChannel hello_channel(std::span<const u8> secret, size_t dialer,
+                            size_t acceptor) {
+  std::string from = "hello/s";
+  from += std::to_string(dialer);
+  std::string to = "s";
+  to += std::to_string(acceptor);
+  return SecureChannel(secret, from, to);
+}
+
+}  // namespace
+
+TcpMeshTransport::TcpMeshTransport(size_t self,
+                                   const std::vector<PeerAddr>& addrs,
+                                   TcpListener* listener,
+                                   std::span<const u8> mesh_secret,
+                                   int setup_timeout_ms, int recv_timeout_ms)
+    : n_(addrs.size()), self_(self), recv_timeout_ms_(recv_timeout_ms),
+      peers_(addrs.size()) {
+  require(self < n_, "TcpMeshTransport: bad self id");
+  require(listener != nullptr, "TcpMeshTransport: need a listener");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(setup_timeout_ms);
+
+  // Dial every lower-id peer, introducing ourselves with a sealed hello.
+  for (size_t j = 0; j < self_; ++j) {
+    auto conn = std::make_unique<FramedConn>(
+        connect_tcp(addrs[j].host, addrs[j].port, ms_left(deadline)));
+    Writer hello;
+    hello.u32_(static_cast<u32>(self_));
+    conn->send_frame(hello_channel(mesh_secret, self_, j).seal(hello.data()));
+    peers_[j] = std::move(conn);
+  }
+
+  // Accept every higher-id peer; the hello says (and proves) who dialed.
+  // Accepted connections wait in a pending set with their own generous
+  // deadline, each polled without blocking: a stray connection (scanner,
+  // misdirected client) cannot stall setup, and a peer whose hello is a
+  // few seconds behind its connect is not dropped.
+  struct PendingConn {
+    std::unique_ptr<FramedConn> conn;
+    Clock::time_point give_up;
+  };
+  std::vector<PendingConn> waiting;
+  size_t pending = n_ - 1 - self_;
+  while (pending > 0) {
+    if (ms_left(deadline) == 0) throw TransportError("mesh setup timed out");
+    if (auto sock = listener->accept_conn(200)) {
+      waiting.push_back({std::make_unique<FramedConn>(std::move(*sock)),
+                         Clock::now() + std::chrono::seconds(10)});
+    }
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      std::optional<std::vector<u8>> hello;
+      bool drop = false;
+      try {
+        hello = it->conn->try_recv_frame(0);
+      } catch (const TransportError&) {
+        drop = true;  // garbage framing from a non-peer
+      }
+      if (hello) {
+        // Find the unclaimed higher-id peer whose hello key opens it; an
+        // unauthenticated dialer matches nothing and drops.
+        for (size_t peer = self_ + 1; peer < n_; ++peer) {
+          if (peers_[peer] != nullptr) continue;
+          auto pt = hello_channel(mesh_secret, peer, self_).open(*hello);
+          if (!pt) continue;
+          Reader r(*pt);
+          u32 claimed = r.u32_();
+          if (!r.ok() || !r.at_end() || claimed != peer) continue;
+          peers_[peer] = std::move(it->conn);
+          --pending;
+          break;
+        }
+        drop = true;  // claimed (conn moved out) or unauthenticated
+      } else if (!drop) {
+        drop = it->conn->eof() || Clock::now() >= it->give_up;
+      }
+      if (drop) {
+        it = waiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TcpMeshTransport::send(size_t to, std::vector<u8> frame, u64 logical) {
+  require(to < n_ && to != self_ && peers_[to] != nullptr,
+          "TcpMeshTransport::send: bad peer");
+  bytes_sent_ += frame.size();
+  messages_sent_ += 1;
+  (void)logical;  // wire accounting only distinguishes physical frames here
+  peers_[to]->send_frame(frame);
+}
+
+std::vector<u8> TcpMeshTransport::recv(size_t from) {
+  require(from < n_ && from != self_ && peers_[from] != nullptr,
+          "TcpMeshTransport::recv: bad peer");
+  return peers_[from]->recv_frame(recv_timeout_ms_);
+}
+
+void TcpMeshTransport::end_round(u64 submissions) {
+  (void)submissions;
+  ++rounds_;
+}
+
+}  // namespace prio::net

@@ -1,0 +1,144 @@
+// Node-centric server-to-server transport abstraction.
+//
+// The simulated deployments in src/core drive all s servers from one
+// thread, so they only *account* traffic (net/simnet.h). The distributed
+// protocol node (server/node.h) is written from the perspective of a single
+// server that really ships and receives frames; this interface is its view
+// of the network. Two implementations exist:
+//
+//   - LoopbackMesh/LoopbackTransport (here): s in-process nodes connected
+//     by blocking per-link queues, with SimNetwork-style accounting. Tests
+//     and benches run real multi-threaded protocol nodes over it without
+//     sockets.
+//   - TcpMeshTransport (net/tcp_transport.h): length-prefixed frames over
+//     real TCP sockets, one OS process per server.
+//
+// Frames on a directed link are delivered reliably and in order (TCP per
+// connection; a FIFO queue per link here), which is what lets the
+// counter-nonce SecureChannel sealing above this layer stay synchronized.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "net/simnet.h"
+#include "util/common.h"
+
+namespace prio::net {
+
+// Thrown when a peer link fails (disconnect, timeout, malformed frame):
+// the protocol cannot continue without the peer, so this is fatal for the
+// current batch, not a per-submission soft failure.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// One server's view of the server mesh. `self()` names this node; frames
+// are addressed by peer node id.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual size_t num_nodes() const = 0;
+  virtual size_t self() const = 0;
+
+  // Ships one framed message carrying `logical` protocol-level messages.
+  virtual void send(size_t to, std::vector<u8> frame, u64 logical) = 0;
+
+  // Blocks until the next frame from `from` arrives; throws TransportError
+  // on link failure or timeout.
+  virtual std::vector<u8> recv(size_t from) = 0;
+
+  // Marks the end of a communication round covering `submissions` protocol
+  // instances (accounting hook; see SimNetwork::end_round).
+  virtual void end_round(u64 submissions) = 0;
+};
+
+// Shared state for s in-process nodes: one FIFO of frames per directed
+// link, plus a SimNetwork for byte/message accounting so tests can assert
+// the distributed node coalesces traffic exactly like the simulated
+// pipeline.
+class LoopbackMesh {
+ public:
+  explicit LoopbackMesh(size_t num_nodes, u64 recv_timeout_ms = 10'000)
+      : n_(num_nodes), timeout_ms_(recv_timeout_ms), sim_(num_nodes),
+        queues_(num_nodes * num_nodes) {}
+
+  size_t num_nodes() const { return n_; }
+  SimNetwork& sim() { return sim_; }
+
+  void send(size_t from, size_t to, std::vector<u8> frame, u64 logical) {
+    require(from < n_ && to < n_, "LoopbackMesh::send: bad node id");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sim_.send_coalesced(from, to, frame.size(), logical);
+      queues_[from * n_ + to].push_back(std::move(frame));
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<u8> recv(size_t from, size_t to) {
+    require(from < n_ && to < n_, "LoopbackMesh::recv: bad node id");
+    std::unique_lock<std::mutex> lock(mu_);
+    auto& q = queues_[from * n_ + to];
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_),
+                      [&] { return !q.empty(); })) {
+      throw TransportError("LoopbackMesh::recv: timeout");
+    }
+    std::vector<u8> frame = std::move(q.front());
+    q.pop_front();
+    return frame;
+  }
+
+  // Round accounting: every node reports its rounds; the mesh records the
+  // slowest node's count once (node 0's calls stand in for the mesh --
+  // every node performs the same number of rounds in this protocol).
+  void end_round(size_t node, u64 submissions) {
+    if (node == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sim_.end_round(submissions);
+    }
+  }
+
+ private:
+  size_t n_;
+  u64 timeout_ms_;
+  SimNetwork sim_;
+  std::vector<std::deque<std::vector<u8>>> queues_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// One node's handle onto a LoopbackMesh.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(LoopbackMesh* mesh, size_t self)
+      : mesh_(mesh), self_(self) {
+    require(self < mesh->num_nodes(), "LoopbackTransport: bad node id");
+  }
+
+  size_t num_nodes() const override { return mesh_->num_nodes(); }
+  size_t self() const override { return self_; }
+
+  void send(size_t to, std::vector<u8> frame, u64 logical) override {
+    mesh_->send(self_, to, std::move(frame), logical);
+  }
+
+  std::vector<u8> recv(size_t from) override {
+    return mesh_->recv(from, self_);
+  }
+
+  void end_round(u64 submissions) override {
+    mesh_->end_round(self_, submissions);
+  }
+
+ private:
+  LoopbackMesh* mesh_;
+  size_t self_;
+};
+
+}  // namespace prio::net

@@ -1,0 +1,104 @@
+// Minimal flag parsing shared by the prio_server and prio_client binaries:
+// --key value pairs and the --servers endpoint list.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/tcp_transport.h"
+#include "util/common.h"
+
+namespace prio::server {
+
+// One server endpoint as the binaries address it: the peer-mesh port the
+// servers dial each other on, and the client port submissions arrive on.
+// `host` must be an IPv4 literal ("127.0.0.1", "10.0.0.2"); the transport
+// does no DNS resolution.
+struct ServerEndpoint {
+  std::string host;
+  u16 peer_port = 0;
+  u16 client_port = 0;
+};
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      require(arg.rfind("--", 0) == 0, "flags must look like --key value");
+      require(i + 1 < argc, "flag is missing its value");
+      values_[arg.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  u64 num(const std::string& key, u64 fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return parse_u64(it->second);
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Strict decimal parse: a typo like "4o" or an overflow is an error, not
+  // a silent zero.
+  static u64 parse_u64(const std::string& text) {
+    errno = 0;
+    char* end = nullptr;
+    u64 v = std::strtoull(text.c_str(), &end, 10);
+    require(errno == 0 && end != text.c_str() && *end == '\0' &&
+                !text.empty() && text[0] != '-',
+            "flag value is not a valid unsigned integer");
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// A TCP port given on the command line: in range and non-zero.
+inline u16 parse_port(const std::string& text) {
+  u64 v = Flags::parse_u64(text);
+  require(v >= 1 && v <= 65535, "port must be in [1, 65535]");
+  return static_cast<u16>(v);
+}
+
+// Parses "host:peer_port:client_port,host:peer_port:client_port,...".
+inline std::vector<ServerEndpoint> parse_server_list(const std::string& list) {
+  std::vector<ServerEndpoint> out;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string entry = list.substr(pos, comma - pos);
+    size_t c1 = entry.find(':');
+    size_t c2 = entry.find(':', c1 == std::string::npos ? c1 : c1 + 1);
+    require(c1 != std::string::npos && c2 != std::string::npos,
+            "--servers entries must be host:peer_port:client_port");
+    ServerEndpoint ep;
+    ep.host = entry.substr(0, c1);
+    ep.peer_port = parse_port(entry.substr(c1 + 1, c2 - c1 - 1));
+    ep.client_port = parse_port(entry.substr(c2 + 1));
+    out.push_back(ep);
+    pos = comma + 1;
+  }
+  require(out.size() >= 2, "--servers needs at least two endpoints");
+  return out;
+}
+
+inline std::vector<net::TcpMeshTransport::PeerAddr> peer_addrs(
+    const std::vector<ServerEndpoint>& eps) {
+  std::vector<net::TcpMeshTransport::PeerAddr> out;
+  out.reserve(eps.size());
+  for (const auto& ep : eps) out.push_back({ep.host, ep.peer_port});
+  return out;
+}
+
+}  // namespace prio::server

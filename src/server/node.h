@@ -1,0 +1,468 @@
+// One Prio server as a distributed protocol node.
+//
+// PrioDeployment (core/deployment.h) simulates all s servers from one
+// thread and only accounts traffic. ServerNode is the real thing: it holds
+// ONE server's secret state (verification context, accumulator, replay
+// floors) and runs the batched four-round SNIP protocol by actually
+// exchanging frames with its peers through a net::Transport -- loopback
+// queues in tests and benches, TCP sockets in the prio_server binary. Every
+// frame body between servers is sealed with net::SecureChannel (fresh
+// per-batch keys, counter nonces riding on the link's in-order delivery),
+// standing in for the paper's TLS.
+//
+// Batch flow (leader rotates with the shared batch counter; `q` inputs,
+// `ql` of them parsed by every server):
+//   round 1: non-leader -> leader: parse bitmap(q) + q (d, e) pairs
+//   round 2: leader -> all: live bitmap(q) + ql (d, e) totals
+//   round 3: non-leader -> leader: ql (sigma, out) pairs
+//   round 4: leader -> all: decision bitmap(q)
+// After round 4 every node applies the replay floor and aggregates its own
+// x-shares in submission order, so all nodes return identical verdicts and
+// hold consistent epoch state with no further coordination.
+//
+// Epochs: process_batch accumulates; publish_epoch reveals the per-server
+// accumulators to server 0, which decodes and returns the aggregate, and
+// every node then rolls into the next epoch. snapshot()/restore_state()
+// serialize a node's full protocol state so a server can restart at a
+// batch boundary within an epoch and rejoin without desynchronizing.
+#pragma once
+
+#include <optional>
+
+#include "core/submission.h"
+#include "net/channel.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "snip/snip.h"
+#include "util/thread_pool.h"
+
+namespace prio {
+
+// One server's view of a client submission: its own sealed blob. An empty
+// blob (client never delivered, or intake timed out) parses as malformed
+// and votes reject, which the protocol already handles.
+struct SubmissionShare {
+  u64 client_id = 0;
+  std::vector<u8> blob;
+};
+
+// Projects full Submissions (all blobs) onto server i's view -- test and
+// bench helper for driving nodes with PrioDeployment-style workloads.
+inline std::vector<SubmissionShare> node_view(
+    std::span<const Submission> batch, size_t server) {
+  std::vector<SubmissionShare> out;
+  out.reserve(batch.size());
+  for (const auto& sub : batch) {
+    out.push_back({sub.client_id, sub.blobs.at(server)});
+  }
+  return out;
+}
+
+struct ServerNodeConfig {
+  size_t num_servers = 0;
+  size_t self = 0;
+  u64 master_seed = 1;
+  size_t refresh_every = 1024;  // resample r after this many submissions
+  size_t batch_threads = 1;     // local-check pool; 0 = hardware
+};
+
+template <PrimeField F, typename Afe>
+class ServerNode {
+ public:
+  // The published aggregate, as seen by server 0 after an epoch closes.
+  struct EpochAggregate {
+    u32 epoch = 0;
+    u64 accepted = 0;
+    std::vector<F> sigma;  // summed accumulators (what a verifier decodes)
+    typename Afe::Result result;
+  };
+
+  ServerNode(const Afe* afe, ServerNodeConfig cfg, net::Transport* transport)
+      : afe_(afe),
+        cfg_(cfg),
+        transport_(transport),
+        master_(master_seed_bytes(cfg.master_seed)),
+        // Same shared-context seed as PrioDeployment, so a node mesh and a
+        // simnet deployment over the same inputs walk identical r schedules.
+        ctx_(&afe->valid_circuit(), cfg.num_servers, cfg.master_seed ^ 0x5eed),
+        prover_layout_(SnipLayout::for_circuit_dims(
+            afe->valid_circuit().num_inputs(),
+            afe->valid_circuit().num_mul_gates())),
+        sealer_(master_),
+        accumulator_(afe->k_prime(), F::zero()) {
+    require(cfg.num_servers >= 2, "ServerNode: need >= 2 servers");
+    require(cfg.self < cfg.num_servers, "ServerNode: bad self id");
+    require(transport->num_nodes() == cfg.num_servers &&
+                transport->self() == cfg.self,
+            "ServerNode: transport/config mismatch");
+  }
+
+  size_t self() const { return cfg_.self; }
+  u32 epoch() const { return epoch_; }
+  u64 accepted() const { return accepted_; }
+  u64 processed() const { return processed_; }
+
+  // -------------------------------------------------------------------
+  // Batched verification. All nodes must call this with the same ordered
+  // batch (same client ids, each holding its own blob); the runtime's
+  // leader announcement guarantees that. Returns one 0/1 verdict per
+  // submission, identical on every node.
+  // -------------------------------------------------------------------
+  std::vector<u8> process_batch(std::span<const SubmissionShare> batch) {
+    const size_t q = batch.size();
+    std::vector<u8> verdicts(q, 0);
+    if (q == 0) return verdicts;
+    const size_t s = cfg_.num_servers;
+    const size_t me = cfg_.self;
+    const u64 batch_no = batch_counter_++;
+    const size_t leader = static_cast<size_t>(batch_no % s);
+    const size_t ext_len = prover_layout_.total_len();
+    const size_t kp = afe_->k_prime();
+
+    if (ctx_.refresh_due(cfg_.refresh_every, q)) {
+      ctx_.refresh();
+      ++refreshes_;
+    }
+    ctx_.note_submissions(q);
+
+    // Phase 1 (pooled): decrypt + expand + SNIP local check, own share only.
+    std::vector<std::optional<SnipLocalState<F>>> states(q);
+    std::vector<std::vector<F>> x_shares(q);
+    std::vector<u64> seqs(q, 0);
+    std::vector<u8> parsed(q, 0);
+    ensure_pool().parallel_for(q, [&](size_t v, size_t) {
+      auto share = open_sealed_share<F>(sealer_, batch[v].client_id, me,
+                                        batch[v].blob, ext_len, &seqs[v]);
+      if (!share) return;
+      states[v] = snip_local_check(ctx_, me, std::span<const F>(*share));
+      x_shares[v].assign(share->begin(), share->begin() + kp);
+      parsed[v] = 1;
+    });
+
+    std::string tag = "b";  // per-batch channel-key tag (gcc 12 dislikes
+    tag += std::to_string(batch_no);  // operator+ chains here: PR 105651)
+
+    // Rounds 1+2: (d, e) pairs to the leader; live set + totals back. A
+    // submission is live iff every server parsed it, so the leader ANDs
+    // the parse bitmaps before summing.
+    std::vector<u8> live(q, 0);
+    std::vector<F> d_total, e_total;
+    if (me == leader) {
+      live = parsed;
+      std::vector<F> d_all(q, F::zero()), e_all(q, F::zero());
+      for (size_t v = 0; v < q; ++v) {
+        if (parsed[v]) {
+          d_all[v] = states[v]->d_share;
+          e_all[v] = states[v]->e_share;
+        }
+      }
+      for (size_t j = 0; j < s; ++j) {
+        if (j == me) continue;
+        const auto body = recv_sealed(j, tag, kRound1);
+        net::Reader r(body);
+        auto peer_parsed = r.bitmap(q);
+        auto pairs = r.field_pairs<F>(q);
+        if (!r.ok() || !r.at_end() || peer_parsed.size() != q ||
+            pairs.size() != q) {
+          throw net::TransportError("round 1: malformed frame from peer");
+        }
+        for (size_t v = 0; v < q; ++v) {
+          live[v] = live[v] && peer_parsed[v];
+          d_all[v] += pairs[v].first;
+          e_all[v] += pairs[v].second;
+        }
+      }
+      transport_->end_round(q);
+      for (size_t v = 0; v < q; ++v) {
+        if (live[v]) {
+          d_total.push_back(d_all[v]);
+          e_total.push_back(e_all[v]);
+        }
+      }
+      net::Writer w;
+      w.bitmap(live);
+      w.field_pairs<F>(std::span<const std::pair<F, F>>(zip(d_total, e_total)));
+      broadcast_sealed(tag, kRound2, w.data(), d_total.size());
+      transport_->end_round(d_total.size());
+    } else {
+      net::Writer w;
+      w.bitmap(parsed);
+      std::vector<std::pair<F, F>> pairs(q, {F::zero(), F::zero()});
+      for (size_t v = 0; v < q; ++v) {
+        if (parsed[v]) pairs[v] = {states[v]->d_share, states[v]->e_share};
+      }
+      w.field_pairs<F>(std::span<const std::pair<F, F>>(pairs));
+      send_sealed(leader, tag, kRound1, w.data(), q);
+      transport_->end_round(q);
+
+      const auto body = recv_sealed(leader, tag, kRound2);
+      net::Reader r(body);
+      live = r.bitmap(q);
+      auto totals = r.field_pairs<F>(q);
+      size_t n_live = 0;
+      for (u8 b : live) n_live += b;
+      if (!r.ok() || !r.at_end() || live.size() != q ||
+          totals.size() != n_live) {
+        throw net::TransportError("round 2: malformed frame from leader");
+      }
+      for (auto& [d, e] : totals) {
+        d_total.push_back(d);
+        e_total.push_back(e);
+      }
+      transport_->end_round(n_live);
+    }
+    // A submission the leader marked live must have parsed here too --
+    // anything else means the leader equivocated.
+    std::vector<size_t> live_idx;
+    for (size_t v = 0; v < q; ++v) {
+      if (live[v]) {
+        if (!parsed[v]) {
+          throw net::TransportError("round 2: leader marked unparsed live");
+        }
+        live_idx.push_back(v);
+      }
+    }
+    const size_t ql = live_idx.size();
+
+    // Round 3: sigma + output-combination shares for the live set.
+    std::vector<F> sigma_shares(ql), out_shares(ql);
+    ensure_pool().parallel_for(ql, [&](size_t v, size_t) {
+      const auto& st = *states[live_idx[v]];
+      sigma_shares[v] = snip_sigma_share(ctx_, st, d_total[v], e_total[v]);
+      out_shares[v] = st.out_combo;
+    });
+
+    std::vector<u8> decisions(q, 0);
+    if (me == leader) {
+      std::vector<F> sigma(sigma_shares), out(out_shares);
+      for (size_t j = 0; j < s; ++j) {
+        if (j == me) continue;
+        const auto body = recv_sealed(j, tag, kRound3);
+        net::Reader r(body);
+        auto pairs = r.field_pairs<F>(ql);
+        if (!r.ok() || !r.at_end() || pairs.size() != ql) {
+          throw net::TransportError("round 3: malformed frame from peer");
+        }
+        for (size_t v = 0; v < ql; ++v) {
+          sigma[v] += pairs[v].first;
+          out[v] += pairs[v].second;
+        }
+      }
+      transport_->end_round(ql);
+      for (size_t v = 0; v < ql; ++v) {
+        decisions[live_idx[v]] = snip_accept(sigma[v], out[v]) ? 1 : 0;
+      }
+      net::Writer w;
+      w.bitmap(decisions);
+      broadcast_sealed(tag, kRound4, w.data(), ql);
+      transport_->end_round(ql);
+    } else {
+      net::Writer w;
+      w.field_pairs<F>(
+          std::span<const std::pair<F, F>>(zip(sigma_shares, out_shares)));
+      send_sealed(leader, tag, kRound3, w.data(), ql);
+      transport_->end_round(ql);
+
+      const auto body = recv_sealed(leader, tag, kRound4);
+      net::Reader r(body);
+      decisions = r.bitmap(q);
+      if (!r.ok() || !r.at_end() || decisions.size() != q) {
+        throw net::TransportError("round 4: malformed frame from leader");
+      }
+      transport_->end_round(ql);
+    }
+
+    // Replay floor + aggregation, in submission order -- deterministic, so
+    // every node converges on the same verdicts and accumulator updates.
+    for (size_t v = 0; v < q; ++v) {
+      if (!decisions[v] || !live[v]) continue;
+      if (!replay_.fresh(batch[v].client_id, seqs[v])) continue;
+      replay_.accept(batch[v].client_id, seqs[v]);
+      verdicts[v] = 1;
+      for (size_t c = 0; c < kp; ++c) accumulator_[c] += x_shares[v][c];
+      ++accepted_;
+    }
+    processed_ += q;
+    return verdicts;
+  }
+
+  // -------------------------------------------------------------------
+  // Epoch publication: every non-zero server reveals its accumulator to
+  // server 0, which decodes the aggregate. All nodes then reset their
+  // epoch state (accumulator + accepted count) and advance the epoch.
+  // Returns the aggregate on server 0, nullopt elsewhere.
+  // -------------------------------------------------------------------
+  std::optional<EpochAggregate> publish_epoch() {
+    const size_t s = cfg_.num_servers;
+    std::string tag = "pub";
+    tag += std::to_string(epoch_);
+    std::optional<EpochAggregate> out;
+    if (cfg_.self == 0) {
+      EpochAggregate agg;
+      agg.epoch = epoch_;
+      agg.accepted = accepted_;
+      agg.sigma = accumulator_;
+      for (size_t j = 1; j < s; ++j) {
+        const auto body = recv_sealed(j, tag, kPublish);
+        net::Reader r(body);
+        u64 peer_accepted = r.u64_();
+        auto acc = r.field_vector<F>(afe_->k_prime());
+        if (!r.ok() || !r.at_end() || acc.size() != afe_->k_prime()) {
+          throw net::TransportError("publish: malformed accumulator frame");
+        }
+        if (peer_accepted != accepted_) {
+          throw net::TransportError("publish: accepted-count divergence");
+        }
+        for (size_t c = 0; c < acc.size(); ++c) agg.sigma[c] += acc[c];
+      }
+      transport_->end_round(1);
+      agg.result = afe_->decode(std::span<const F>(agg.sigma), agg.accepted);
+      out = std::move(agg);
+    } else {
+      net::Writer w;
+      w.u64_(accepted_);
+      w.field_vector<F>(std::span<const F>(accumulator_));
+      send_sealed(0, tag, kPublish, w.data(), 1);
+      transport_->end_round(1);
+    }
+    std::fill(accumulator_.begin(), accumulator_.end(), F::zero());
+    accepted_ = 0;
+    ++epoch_;
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // Restart support: the full protocol state a server must carry across a
+  // restart at a batch boundary. The verification context is rebuilt by
+  // replaying its deterministic refresh schedule, so the restored node
+  // holds the same secret r as its peers.
+  // -------------------------------------------------------------------
+  std::vector<u8> snapshot() const {
+    net::Writer w;
+    w.u32_(epoch_);
+    w.u64_(batch_counter_);
+    w.u64_(refreshes_);
+    w.u64_(ctx_.submissions_since_refresh());
+    w.u64_(accepted_);
+    w.u64_(processed_);
+    w.field_vector<F>(std::span<const F>(accumulator_));
+    w.u32_(static_cast<u32>(replay_.floors().size()));
+    for (const auto& [cid, floor] : replay_.floors()) {
+      w.u64_(cid);
+      w.u64_(floor);
+    }
+    return w.take();
+  }
+
+  // Restores a freshly constructed node (same config) from snapshot().
+  // Returns false on a malformed snapshot, leaving the node unusable.
+  bool restore_state(std::span<const u8> snap) {
+    net::Reader r(snap);
+    epoch_ = r.u32_();
+    batch_counter_ = r.u64_();
+    const u64 refreshes = r.u64_();
+    const u64 since = r.u64_();
+    accepted_ = r.u64_();
+    processed_ = r.u64_();
+    auto acc = r.field_vector<F>(afe_->k_prime());
+    u32 floors = r.u32_();
+    if (!r.ok() || acc.size() != afe_->k_prime() || refreshes < 1) return false;
+    accumulator_ = std::move(acc);
+    for (u32 i = 0; i < floors; ++i) {
+      u64 cid = r.u64_();
+      u64 floor = r.u64_();
+      if (!r.ok()) return false;
+      replay_.set_floor(cid, floor);
+    }
+    if (!r.at_end()) return false;
+    while (refreshes_ < refreshes) {
+      ctx_.refresh();
+      ++refreshes_;
+    }
+    ctx_.note_submissions(since);
+    return true;
+  }
+
+ private:
+  // Server-to-server frame tags; each round's opener checks it saw the
+  // frame it expected, so a desynchronized peer fails loudly.
+  static constexpr u8 kRound1 = 1;
+  static constexpr u8 kRound2 = 2;
+  static constexpr u8 kRound3 = 3;
+  static constexpr u8 kRound4 = 4;
+  static constexpr u8 kPublish = 5;
+
+  // Per-(batch|publish, round) channel keys: the tag and round type are
+  // bound into the sending endpoint's name, so every frame is sealed under
+  // its own key with a zero counter -- no (key, nonce) pair ever repeats,
+  // and a restarted server's channels line right back up with its peers.
+  net::SecureChannel make_channel(size_t from, size_t to,
+                                  const std::string& tag, u8 type) const {
+    std::string from_ep = "s";
+    from_ep += std::to_string(from);
+    from_ep += '/';
+    from_ep += tag;
+    from_ep += '/';
+    from_ep += std::to_string(type);
+    std::string to_ep = "s";
+    to_ep += std::to_string(to);
+    return net::SecureChannel(master_, from_ep, to_ep);
+  }
+
+  void send_sealed(size_t to, const std::string& tag, u8 type,
+                   std::span<const u8> body, u64 logical) {
+    net::Writer w;
+    w.u8_(type);
+    w.raw(body);
+    transport_->send(to, make_channel(cfg_.self, to, tag, type).seal(w.data()),
+                     logical);
+  }
+
+  void broadcast_sealed(const std::string& tag, u8 type,
+                        std::span<const u8> body, u64 logical) {
+    for (size_t j = 0; j < cfg_.num_servers; ++j) {
+      if (j != cfg_.self) send_sealed(j, tag, type, body, logical);
+    }
+  }
+
+  std::vector<u8> recv_sealed(size_t from, const std::string& tag, u8 type) {
+    auto pt =
+        make_channel(from, cfg_.self, tag, type).open(transport_->recv(from));
+    if (!pt || pt->empty() || (*pt)[0] != type) {
+      throw net::TransportError("server channel: bad frame seal or type");
+    }
+    pt->erase(pt->begin());
+    return std::move(*pt);
+  }
+
+  static std::vector<std::pair<F, F>> zip(const std::vector<F>& a,
+                                          const std::vector<F>& b) {
+    std::vector<std::pair<F, F>> out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i) out.emplace_back(a[i], b[i]);
+    return out;
+  }
+
+  ThreadPool& ensure_pool() {
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(cfg_.batch_threads);
+    return *pool_;
+  }
+
+  const Afe* afe_;
+  ServerNodeConfig cfg_;
+  net::Transport* transport_;
+  std::vector<u8> master_;
+  VerificationContext<F> ctx_;
+  SnipLayout prover_layout_;
+  SubmissionSealer sealer_;
+  ReplayGuard replay_;
+  std::vector<F> accumulator_;
+  std::unique_ptr<ThreadPool> pool_;
+  u64 batch_counter_ = 0;
+  u64 refreshes_ = 1;  // the context constructor performs the first refresh
+  u64 accepted_ = 0;
+  u64 processed_ = 0;
+  u32 epoch_ = 0;
+};
+
+}  // namespace prio

@@ -1,0 +1,111 @@
+// prio_server: one Prio server as an OS process.
+//
+// Runs the full distributed pipeline for the paper's throughput workload
+// (bit-vector sum over Fp64): accepts sealed client submissions over TCP,
+// coordinates count-delimited epochs with its peer servers, runs the
+// batched four-round SNIP verification protocol over the server mesh, and
+// (on server 0) publishes each epoch's aggregate to asking clients.
+//
+// A three-server deployment on localhost:
+//
+//   SERVERS=127.0.0.1:9101:9201,127.0.0.1:9102:9202,127.0.0.1:9103:9203
+//   ./prio_server --id 0 --servers $SERVERS --len 16 --epoch-size 40 &
+//   ./prio_server --id 1 --servers $SERVERS --len 16 --epoch-size 40 &
+//   ./prio_server --id 2 --servers $SERVERS --len 16 --epoch-size 40 &
+//   ./prio_client --servers $SERVERS --len 16 --clients 40 --expect-clients 40
+//
+// Every server must be started with the same --servers list, --master-seed,
+// --len, --epoch-size, --batch, and --epochs. Exit code 0 means all epochs
+// completed (and, on server 0, were published).
+
+#include <cstdio>
+#include <thread>
+
+#include "afe/bitvec_sum.h"
+#include "server/cli.h"
+#include "server/runtime.h"
+
+using namespace prio;
+
+int main(int argc, char** argv) {
+  using F = Fp64;
+  using Afe = afe::BitVectorSum<F>;
+  try {
+    server::Flags flags(argc, argv);
+    const auto endpoints = server::parse_server_list(
+        flags.str("servers", "127.0.0.1:9101:9201,127.0.0.1:9102:9202"));
+    const size_t id = flags.num("id", 0);
+    require(id < endpoints.size(), "--id out of range of --servers");
+
+    Afe afe(flags.num("len", 16));
+    ServerNodeConfig cfg;
+    cfg.num_servers = endpoints.size();
+    cfg.self = id;
+    cfg.master_seed = flags.num("master-seed", 1);
+    cfg.refresh_every = flags.num("refresh-every", 1024);
+    cfg.batch_threads = flags.num("threads", 1);
+
+    server::ServerRuntime<F, Afe>::Options opts;
+    opts.epoch_size = flags.num("epoch-size", 64);
+    opts.max_batch = flags.num("batch", 64);
+    opts.epochs = static_cast<u32>(flags.num("epochs", 1));
+
+    opts.announce_wait_ms =
+        static_cast<int>(flags.num("announce-wait-ms", 60'000));
+
+    // Listen before dialing, so peers starting in any order can connect.
+    // Binds all interfaces by default so the mesh can span hosts (the
+    // --servers entries carry the routable addresses peers dial).
+    const std::string bind_host = flags.str("bind", "0.0.0.0");
+    net::TcpListener peer_listener(endpoints[id].peer_port, bind_host);
+    net::TcpListener client_listener(endpoints[id].client_port, bind_host);
+    std::fprintf(stderr, "[server %zu] peers=%u clients=%u; joining mesh...\n",
+                 id, peer_listener.port(), client_listener.port());
+    // Followers block in recv for the leader's next announcement while the
+    // leader may legitimately wait announce_wait_ms for a batch to fill, so
+    // the mesh recv timeout must comfortably exceed that.
+    const std::vector<u8> mesh_secret = master_seed_bytes(cfg.master_seed);
+    net::TcpMeshTransport mesh(
+        id, server::peer_addrs(endpoints), &peer_listener, mesh_secret,
+        static_cast<int>(flags.num("mesh-timeout-ms", 30'000)),
+        static_cast<int>(
+            flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)));
+    std::fprintf(stderr, "[server %zu] mesh up (%zu servers)\n", id,
+                 mesh.num_nodes());
+
+    ServerNode<F, Afe> node(&afe, cfg, &mesh);
+    server::ServerRuntime<F, Afe> runtime(&node, &mesh, &client_listener, opts);
+    std::thread intake([&] { runtime.serve_clients(); });
+
+    // The intake thread must be joined on every path out of the epoch loop;
+    // letting an exception unwind past a joinable std::thread would turn a
+    // reportable protocol failure into std::terminate.
+    int rc = 0;
+    try {
+      auto last = runtime.run_epochs();
+      if (last) {
+        std::printf("[server %zu] epoch %u published: accepted=%llu counts=[",
+                    id, last->epoch,
+                    static_cast<unsigned long long>(last->accepted));
+        for (size_t i = 0; i < last->result.size(); ++i) {
+          std::printf("%s%llu", i ? " " : "",
+                      static_cast<unsigned long long>(last->result[i]));
+        }
+        std::printf("]\n");
+        std::fflush(stdout);
+      }
+      runtime.drain_and_stop();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
+      runtime.stop();
+      rc = 1;
+    }
+    intake.join();
+    std::fprintf(stderr, "[server %zu] done (%llu submissions processed)\n",
+                 id, static_cast<unsigned long long>(node.processed()));
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,40 @@
+// Client <-> server frame protocol for the multi-process runtime.
+//
+// Clients talk to each server over a framed TCP connection (one frame =
+// [u32 len] || body, net/tcp_transport.h). Frame bodies use net/wire.h
+// encodings. The frames themselves are plaintext: a submission blob is
+// already sealed per (client, server, submission) by core/submission.h, and
+// the aggregate is public output, so the framing carries no secrets --
+// exactly the paper's split, where TLS protects transport metadata but the
+// cryptographic privacy boundary is the secret sharing itself.
+//
+//   kClientSubmit:  u8 type, u64 client_id, bytes blob      (client -> server)
+//   kSubmitAck:     u8 type, u8 ok                          (server -> client)
+//   kGetAggregate:  u8 type, u32 epoch                      (client -> server 0)
+//   kAggregate:     u8 type, u32 epoch, u64 accepted,
+//                   field_vector sigma                      (server 0 -> client)
+//
+// kGetAggregate blocks server-side until the epoch has been published, so
+// a client can submit and then wait for the result on one connection.
+//
+// Server <-> server frames (batch announcements and the SNIP rounds) are
+// sealed with net::SecureChannel; see server/node.h. The one plaintext
+// mesh frame is the leader's batch announcement:
+//
+//   kBatchAnnounce: u8 type, u32 count, count * (u64 client_id, u64 seq)
+//
+// It names which buffered submissions form the next batch and in what
+// order; it carries only submission identifiers, never share material.
+#pragma once
+
+#include "util/common.h"
+
+namespace prio::server {
+
+inline constexpr u8 kClientSubmit = 0x11;
+inline constexpr u8 kSubmitAck = 0x12;
+inline constexpr u8 kGetAggregate = 0x13;
+inline constexpr u8 kAggregate = 0x14;
+inline constexpr u8 kBatchAnnounce = 0x21;
+
+}  // namespace prio::server

@@ -1,0 +1,376 @@
+// Multi-process server runtime: client intake, batch coordination, and the
+// epoch loop around a ServerNode.
+//
+// Each prio_server process runs one ServerRuntime. Client connections are
+// served by per-connection intake threads that buffer sealed blobs keyed by
+// (client_id, seq); the protocol thread turns the buffer into batches. The
+// servers must agree on batch membership and order, so server 0 announces
+// each batch (a plaintext list of submission identifiers -- never share
+// material, see server/protocol.h) and every server assembles its local
+// view from its own buffer. A blob the announcement names but the buffer
+// lacks (client never delivered here) is assembled as an empty blob, which
+// the protocol rejects as unparseable -- robustness does not depend on
+// perfect delivery.
+//
+// Epochs are count-delimited: all servers are configured with the same
+// epoch_size, so after processing that many submissions each closes the
+// epoch via ServerNode::publish_epoch with no extra coordination. Server 0
+// stores the published aggregate and serves it to clients that ask
+// (kGetAggregate blocks until the epoch closes).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "net/tcp_transport.h"
+#include "server/node.h"
+#include "server/protocol.h"
+
+namespace prio::server {
+
+template <PrimeField F, typename Afe>
+class ServerRuntime {
+ public:
+  struct Options {
+    size_t epoch_size = 64;   // submissions per epoch, same on all servers
+    size_t max_batch = 64;    // leader caps announcements at this many
+    u32 epochs = 1;
+    int announce_wait_ms = 60'000;  // leader: deadline for a full batch
+    int assemble_wait_ms = 5'000;   // followers: grace for in-flight blobs
+    // Intake bound: submissions buffered but not yet consumed by a batch
+    // are capped, so a flood of distinct (client, seq) pairs cannot
+    // exhaust memory. Over the cap, the OLDEST buffered submission is
+    // evicted to admit the new one (an evicted-then-announced submission
+    // assembles as an empty blob and is voted reject, which a flood can
+    // exploit against in-flight honest traffic -- but a full-buffer nack
+    // would jam intake outright, which is strictly worse).
+    size_t max_buffered = 1 << 16;
+    // Largest accepted submission blob. Honest blobs are a few KB (seq
+    // prefix + sealed PRG seed or explicit share); without a byte bound a
+    // count-based cap still admits gigabytes of hostile ciphertext.
+    size_t max_blob_bytes = 1 << 20;
+    // Concurrent client connections (and so intake threads) are capped;
+    // over the cap, new connections are dropped at accept.
+    size_t max_connections = 256;
+  };
+
+  ServerRuntime(ServerNode<F, Afe>* node, net::Transport* mesh,
+                net::TcpListener* client_listener, Options opts)
+      : node_(node), mesh_(mesh), listener_(client_listener), opts_(opts) {}
+
+  ~ServerRuntime() { stop(); }
+
+  // Serves client connections until stop(); call from a dedicated thread.
+  // Transient accept failures (fd exhaustion, interrupted polls) cost one
+  // loop iteration, never the server.
+  void serve_clients() {
+    while (!stopped()) {
+      reap_finished();
+      try {
+        auto sock = listener_->accept_conn(200);
+        if (!sock || stopped()) continue;  // drop late arrivals on shutdown
+        std::lock_guard<std::mutex> lock(mu_);
+        if (active_conns_ >= opts_.max_connections) continue;  // shed load
+        ++active_conns_;
+        const u64 id = next_conn_id_++;
+        // Frames from untrusted clients are bounded near the largest
+        // acceptable blob, not the transport-wide 64 MiB ceiling.
+        const size_t frame_cap = opts_.max_blob_bytes + 1024;
+        conn_threads_.emplace(
+            id, std::thread([this, id, frame_cap,
+                             s = std::move(*sock)]() mutable {
+              handle_client(net::FramedConn(std::move(s), frame_cap), id);
+            }));
+      } catch (const net::TransportError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      } catch (const std::system_error&) {
+        // Thread spawn failed (resource pressure): release the slot that
+        // was reserved above, shed the connection, and let reaping catch
+        // up rather than aborting the server.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (active_conns_ > 0) --active_conns_;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  }
+
+  // Runs the configured number of epochs; returns the last published
+  // aggregate on server 0 (nullopt elsewhere).
+  std::optional<typename ServerNode<F, Afe>::EpochAggregate> run_epochs() {
+    std::optional<typename ServerNode<F, Afe>::EpochAggregate> last;
+    for (u32 e = 0; e < opts_.epochs; ++e) {
+      size_t done = 0;
+      while (done < opts_.epoch_size) {
+        const size_t want = std::min(opts_.max_batch, opts_.epoch_size - done);
+        std::vector<std::pair<u64, u64>> ids =
+            node_->self() == 0 ? announce_batch(want) : receive_announcement();
+        auto shares = assemble(ids);
+        node_->process_batch(shares);
+        done += ids.size();
+      }
+      auto agg = node_->publish_epoch();
+      if (agg) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          published_[agg->epoch] = *agg;
+        }
+        cv_.notify_all();
+        last = std::move(agg);
+      }
+    }
+    return last;
+  }
+
+  // After the epochs finish, lets in-flight aggregate queries drain before
+  // shutdown: waits until every client connection has closed (or the grace
+  // period ends), then stops the intake threads.
+  void drain_and_stop(int grace_ms = 10'000) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                   [&] { return active_conns_ == 0; });
+    }
+    stop();
+  }
+
+  // Idempotent; joins every intake thread, including ones spawned between
+  // the flag flip and the accept loop noticing it.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (;;) {
+      std::map<u64, std::thread> threads;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        threads.swap(conn_threads_);
+        finished_.clear();
+      }
+      if (threads.empty()) break;
+      for (auto& [id, t] : threads) t.join();
+    }
+  }
+
+ private:
+  bool stopped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_;
+  }
+
+  // ---- intake side -----------------------------------------------------
+
+  void handle_client(net::FramedConn conn, u64 conn_id) {
+    try {
+      while (!stopped() && !conn.eof()) {
+        auto frame = conn.try_recv_frame(200);
+        if (!frame) continue;
+        net::Reader r(*frame);
+        const u8 type = r.u8_();
+        if (!r.ok()) break;
+        if (type == kClientSubmit) {
+          u64 cid = r.u64_();
+          auto blob = r.bytes();
+          bool ok = r.ok() && r.at_end() && blob.size() >= 8 &&
+                    blob.size() <= opts_.max_blob_bytes;
+          if (ok) {
+            net::Reader seq_r(blob);
+            const u64 seq = seq_r.u64_();
+            std::lock_guard<std::mutex> lock(mu_);
+            if (buffer_.size() >= opts_.max_buffered) evict_oldest_locked();
+            auto [it, inserted] =
+                buffer_.try_emplace({cid, seq}, std::move(blob));
+            if (inserted) intake_order_.push_back({cid, seq});
+            // Only server 0 sequences batches; followers keep no arrival
+            // log (it would otherwise grow forever unread).
+            if (inserted && node_->self() == 0) {
+              arrivals_.push_back({cid, seq});
+              // Bound the sequencing queue like the buffer: under a flood
+              // the oldest un-announced entries fall off the front, so
+              // server 0 announces the newest window (matching eviction).
+              while (arrivals_.size() > opts_.max_buffered) {
+                arrivals_.pop_front();
+              }
+            }
+          }
+          cv_.notify_all();
+          net::Writer ack;
+          ack.u8_(kSubmitAck);
+          ack.u8_(ok ? 1 : 0);
+          conn.send_frame(ack.data());
+        } else if (type == kGetAggregate) {
+          u32 epoch = r.u32_();
+          if (!r.ok() || !r.at_end()) break;
+          // Only server 0 publishes; a follower drops the connection
+          // instead of blocking it on an epoch that will never appear here.
+          if (node_->self() != 0) break;
+          auto agg = wait_published(epoch);
+          if (!agg) break;  // shutting down before the epoch closed
+          net::Writer w;
+          w.u8_(kAggregate);
+          w.u32_(agg->epoch);
+          w.u64_(agg->accepted);
+          w.field_vector<F>(std::span<const F>(agg->sigma));
+          conn.send_frame(w.data());
+        } else {
+          break;  // unknown frame: drop the connection
+        }
+      }
+    } catch (const net::TransportError&) {
+      // A misbehaving or vanished client only costs its own connection.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_conns_;
+      finished_.push_back(conn_id);  // reaped by serve_clients or stop()
+    }
+    cv_.notify_all();
+  }
+
+  // Joins intake threads whose connections have closed, so a long-lived
+  // server does not accumulate exited-but-joinable threads.
+  void reap_finished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (u64 id : finished_) {
+        auto it = conn_threads_.find(id);
+        if (it != conn_threads_.end()) {
+          done.push_back(std::move(it->second));
+          conn_threads_.erase(it);
+        }
+      }
+      finished_.clear();
+    }
+    for (auto& t : done) t.join();
+  }
+
+  std::optional<typename ServerNode<F, Afe>::EpochAggregate> wait_published(
+      u32 epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || published_.count(epoch) > 0; });
+    auto it = published_.find(epoch);
+    if (it == published_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // ---- batch coordination ---------------------------------------------
+
+  // Server 0: waits until `want` unannounced submissions have arrived,
+  // then broadcasts their identifiers in arrival order.
+  std::vector<std::pair<u64, u64>> announce_batch(size_t want) {
+    std::vector<std::pair<u64, u64>> ids;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(opts_.announce_wait_ms),
+                        [&] { return arrivals_.size() >= want; })) {
+        throw net::TransportError("leader: batch never filled");
+      }
+      ids.assign(arrivals_.begin(), arrivals_.begin() + want);
+      arrivals_.erase(arrivals_.begin(), arrivals_.begin() + want);  // deque: O(want)
+    }
+    net::Writer w;
+    w.u8_(kBatchAnnounce);
+    w.u32_(static_cast<u32>(ids.size()));
+    for (const auto& [cid, seq] : ids) {
+      w.u64_(cid);
+      w.u64_(seq);
+    }
+    for (size_t j = 1; j < mesh_->num_nodes(); ++j) {
+      mesh_->send(j, w.data(), 1);
+    }
+    return ids;
+  }
+
+  std::vector<std::pair<u64, u64>> receive_announcement() {
+    const auto frame = mesh_->recv(0);
+    net::Reader r(frame);
+    if (r.u8_() != kBatchAnnounce) {
+      throw net::TransportError("expected batch announcement");
+    }
+    u32 count = r.u32_();
+    if (!r.ok() || count == 0 || count > (1u << 20)) {
+      throw net::TransportError("malformed batch announcement");
+    }
+    std::vector<std::pair<u64, u64>> ids;
+    ids.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+      u64 cid = r.u64_();
+      u64 seq = r.u64_();
+      ids.push_back({cid, seq});
+    }
+    if (!r.ok() || !r.at_end()) {
+      throw net::TransportError("malformed batch announcement");
+    }
+    return ids;
+  }
+
+  // Pulls the announced blobs out of the buffer, giving stragglers a grace
+  // period; a blob that never arrives becomes an empty (reject) share.
+  std::vector<SubmissionShare> assemble(
+      const std::vector<std::pair<u64, u64>>& ids) {
+    std::vector<SubmissionShare> shares(ids.size());
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts_.assemble_wait_ms);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t v = 0; v < ids.size(); ++v) {
+      shares[v].client_id = ids[v].first;
+      cv_.wait_until(lock, deadline,
+                     [&] { return buffer_.count(ids[v]) > 0; });
+      auto it = buffer_.find(ids[v]);
+      if (it != buffer_.end()) {
+        shares[v].blob = std::move(it->second);
+        buffer_.erase(it);
+      }
+    }
+    // Trim the consumed prefix of the eviction queue so it tracks the
+    // buffer's size instead of total submissions ever seen.
+    while (!intake_order_.empty() &&
+           buffer_.count(intake_order_.front()) == 0) {
+      intake_order_.pop_front();
+    }
+    return shares;
+  }
+
+  ServerNode<F, Afe>* node_;
+  net::Transport* mesh_;
+  net::TcpListener* listener_;
+  Options opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  size_t active_conns_ = 0;
+  u64 next_conn_id_ = 0;
+  std::map<u64, std::thread> conn_threads_;
+  std::vector<u64> finished_;  // conn ids whose handler has returned
+  // Intake bound: when the buffer is full, the oldest still-buffered
+  // submission is dropped to admit the new one. Submissions a batch never
+  // names (e.g. delivered to this server but lost before reaching the
+  // sequencer) therefore age out instead of permanently jamming intake.
+  // Stale keys (already consumed by a batch) are skipped and popped.
+  void evict_oldest_locked() {
+    while (!intake_order_.empty()) {
+      auto key = intake_order_.front();
+      intake_order_.pop_front();
+      if (buffer_.erase(key) > 0) return;
+    }
+  }
+
+  std::map<std::pair<u64, u64>, std::vector<u8>> buffer_;
+  // Every buffered key in insertion order (all servers), used for
+  // eviction; may briefly hold stale keys for already-consumed entries.
+  std::deque<std::pair<u64, u64>> intake_order_;
+  // Arrival order of buffered submissions, kept only on server 0 (the
+  // batch sequencer); consumed entries are trimmed at each announcement.
+  std::deque<std::pair<u64, u64>> arrivals_;
+  std::map<u32, typename ServerNode<F, Afe>::EpochAggregate> published_;
+};
+
+}  // namespace prio::server

@@ -1,0 +1,1 @@
+// Anchor TU for the header-only prio_server runtime library.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end multi-process run on localhost: three prio_server processes,
+# two concurrent prio_client processes covering disjoint client-id ranges
+# (the second also tampers some ciphertexts and verifies the published
+# aggregate against a local simnet reproduction of ALL clients' inputs).
+#
+# Usage: e2e_localhost.sh <prio_server> <prio_client>
+set -u
+
+SERVER_BIN=$1
+CLIENT_BIN=$2
+
+LEN=12
+EPOCH_SIZE=40
+TAMPER=5          # every 5th client's ciphertext is flipped -> rejected
+MASTER_SEED=7
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+run_attempt() {
+  local base=$1
+  local servers="127.0.0.1:$((base)):$((base + 100)),127.0.0.1:$((base + 1)):$((base + 101)),127.0.0.1:$((base + 2)):$((base + 102))"
+  local common=(--servers "$servers" --len "$LEN" --master-seed "$MASTER_SEED")
+
+  pids=()
+  for id in 0 1 2; do
+    "$SERVER_BIN" --id "$id" "${common[@]}" \
+      --epoch-size "$EPOCH_SIZE" --batch 16 --epochs 1 &
+    pids+=($!)
+  done
+
+  # Two client processes submit concurrently; ids 0..24 and 25..39.
+  "$CLIENT_BIN" "${common[@]}" --first-client 0 --clients 25 \
+    --tamper-every "$TAMPER" &
+  local c1=$!
+  pids+=("$c1")
+  "$CLIENT_BIN" "${common[@]}" --first-client 25 --clients 15 \
+    --tamper-every "$TAMPER" --expect-clients "$EPOCH_SIZE" &
+  local c2=$!
+  pids+=("$c2")
+
+  local rc=0
+  wait "$c1" || rc=$?
+  wait "$c2" || rc=$?
+  for pid in "${pids[@]:0:3}"; do
+    wait "$pid" || rc=$?
+  done
+  pids=()
+  return "$rc"
+}
+
+# Ports can collide with other test runs; retry on a different base.
+for base in $((20000 + RANDOM % 20000)) $((20000 + RANDOM % 20000)); do
+  if run_attempt "$base"; then
+    echo "e2e_localhost: PASS (port base $base)"
+    exit 0
+  fi
+  echo "e2e_localhost: attempt on port base $base failed; retrying" >&2
+  cleanup
+done
+echo "e2e_localhost: FAIL"
+exit 1

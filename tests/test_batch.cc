@@ -118,7 +118,7 @@ template <template <typename, typename> class Deployment>
 std::vector<std::vector<u8>> bogus_upload(const afe::IntegerSum<F>& afe,
                                           u64 client_id, SecureRng& rng) {
   struct RawAfe {
-    using Field = F;
+    using Field [[maybe_unused]] = F;
     using Input = std::vector<F>;
     using Result = u128;
     const afe::IntegerSum<F>* inner;

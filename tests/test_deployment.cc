@@ -57,7 +57,7 @@ TEST(DeploymentTest, MaliciousClientRejectedAggregateIntact) {
     // we re-derive the client keys through the public client_upload path by
     // submitting the bogus encoding through a hand-rolled AFE.
     struct RawAfe {
-      using Field = F;
+      using Field [[maybe_unused]] = F;
       using Input = std::vector<F>;
       using Result = u128;
       const afe::IntegerSum<F>* inner;
@@ -304,7 +304,7 @@ TEST(MpcDeploymentTest, RejectsInvalidEncoding) {
   afe::IntegerSum<F> afe(4);
   // Hand-rolled raw AFE to push an invalid encoding through the client path.
   struct RawAfe {
-    using Field = F;
+    using Field [[maybe_unused]] = F;
     using Input = std::vector<F>;
     using Result = u128;
     const afe::IntegerSum<F>* inner;

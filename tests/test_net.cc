@@ -1,10 +1,12 @@
-// Wire-format, secure-channel and simulated-network tests.
+// Wire-format, secure-channel and simulated-network tests, plus a
+// corrupt-buffer table for the TCP framing decoder.
 
 #include <gtest/gtest.h>
 
 #include "field/field.h"
 #include "net/channel.h"
 #include "net/simnet.h"
+#include "net/tcp_transport.h"
 #include "net/wire.h"
 
 namespace prio {
@@ -67,6 +69,109 @@ TEST(WireTest, NonCanonicalFieldElementRejected) {
   EXPECT_FALSE(r.ok());
 }
 
+// Fuzz-ish table of corrupt byte streams through the framing decoder: for
+// every buffer the decoder must never crash or over-read, and whole-buffer
+// and byte-by-byte feeding must agree on the outcome (frames recovered, or
+// the stream flagged corrupt, or just incomplete).
+TEST(FramingTest, CorruptBufferTable) {
+  auto le32 = [](u32 v) {
+    return std::vector<u8>{static_cast<u8>(v), static_cast<u8>(v >> 8),
+                           static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
+  };
+  auto cat = [](std::vector<u8> a, const std::vector<u8>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+
+  struct Case {
+    const char* name;
+    std::vector<u8> stream;
+    size_t want_frames;  // complete frames recoverable from the stream
+    bool want_corrupt;
+  };
+  const std::vector<u8> payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  std::vector<Case> cases = {
+      {"empty", {}, 0, false},
+      {"truncated length prefix", {0x04, 0x00}, 0, false},
+      {"length without payload", le32(4), 0, false},
+      {"half a payload", cat(le32(4), {0xDE, 0xAD}), 0, false},
+      {"valid empty frame", le32(0), 1, false},
+      {"valid frame", cat(le32(4), payload), 1, false},
+      {"valid frame + truncated next", cat(cat(le32(4), payload), le32(9)), 1,
+       false},
+      {"oversized length prefix", le32(0xFFFFFFFF), 0, true},
+      {"length one past the limit",
+       le32(static_cast<u32>(prio::net::kMaxFrameLen + 1)), 0, true},
+      {"valid frame then oversized", cat(cat(le32(0), {}), le32(0xFFFFFFFF)),
+       1, true},
+      {"oversized hides later valid frame",
+       cat(le32(0x7FFFFFFF), cat(le32(4), payload)), 0, true},
+  };
+  // Deterministic pseudo-random garbage of several lengths; the decoder
+  // must degrade to one of the legal outcomes without reading past the
+  // buffer (ASan/UBSan guard the CI legs).
+  u32 x = 0x12345678;
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{64}, size_t{257}}) {
+    std::vector<u8> junk(n);
+    for (auto& b : junk) {
+      x = x * 1664525u + 1013904223u;
+      b = static_cast<u8>(x >> 24);
+    }
+    cases.push_back({"pseudo-random junk", junk, SIZE_MAX, false});
+  }
+
+  for (const auto& c : cases) {
+    // Whole-buffer feed.
+    net::FrameDecoder whole;
+    whole.feed(c.stream);
+    size_t whole_frames = 0;
+    while (whole.next()) ++whole_frames;
+    // Byte-by-byte feed must reach the same state.
+    net::FrameDecoder dribble;
+    size_t dribble_frames = 0;
+    for (u8 b : c.stream) {
+      dribble.feed(std::span<const u8>(&b, 1));
+      while (dribble.next()) ++dribble_frames;
+    }
+    EXPECT_EQ(whole_frames, dribble_frames) << c.name;
+    EXPECT_EQ(whole.corrupt(), dribble.corrupt()) << c.name;
+    if (c.want_frames != SIZE_MAX) {
+      EXPECT_EQ(whole_frames, c.want_frames) << c.name;
+      EXPECT_EQ(whole.corrupt(), c.want_corrupt) << c.name;
+    }
+  }
+}
+
+// Truncations of a well-formed coalesced round payload (bitmap + field
+// pairs, the batch pipeline's round-1 message) must fail softly at every
+// cut point -- the Reader reports !ok instead of throwing or over-reading.
+TEST(FramingTest, TruncatedRoundPayloadFailsSoftly) {
+  net::Writer w;
+  std::vector<u8> bits = {1, 0, 1, 1, 0};
+  w.bitmap(bits);
+  std::vector<std::pair<Fp64, Fp64>> pairs;
+  for (u64 i = 1; i <= 5; ++i) {
+    pairs.emplace_back(Fp64::from_u64(i), Fp64::from_u64(i * i));
+  }
+  w.field_pairs<Fp64>(pairs);
+  const auto& full = w.data();
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    net::Reader r(std::span<const u8>(full.data(), cut));
+    auto got_bits = r.bitmap(bits.size());
+    auto got_pairs = r.field_pairs<Fp64>(pairs.size());
+    const bool complete = r.ok() && r.at_end() && got_bits == bits &&
+                          got_pairs.size() == pairs.size();
+    EXPECT_FALSE(complete) << "cut=" << cut;
+  }
+  // And the uncut payload parses back exactly.
+  net::Reader r(full);
+  EXPECT_EQ(r.bitmap(bits.size()), bits);
+  EXPECT_EQ(r.field_pairs<Fp64>(pairs.size()), pairs);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
 TEST(ChannelTest, SealOpenRoundTripAndOrdering) {
   std::vector<u8> master(32, 7);
   net::SecureChannel tx(master, "client", "server0");
@@ -115,7 +220,7 @@ TEST(BusyClockTest, AccumulatesPerNode) {
   {
     auto scope = clock.measure(0);
     volatile u64 x = 0;
-    for (int i = 0; i < 100000; ++i) x += i;
+    for (int i = 0; i < 100000; ++i) x = x + i;
   }
   EXPECT_GT(clock.busy_us(0), 0.0);
   EXPECT_EQ(clock.busy_us(1), 0.0);

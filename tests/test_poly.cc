@@ -77,8 +77,10 @@ TYPED_TEST(NttTest, ConvolutionMultipliesPolynomials) {
 TYPED_TEST(NttTest, RejectsBadSizes) {
   using F = TypeParam;
   EXPECT_THROW(NttDomain<F>(3), std::invalid_argument);
-  EXPECT_THROW(NttDomain<F>(static_cast<size_t>(1) << (F::kTwoAdicity + 1)),
-               std::invalid_argument);
+  if constexpr (F::kTwoAdicity + 1 < 64) {
+    EXPECT_THROW(NttDomain<F>(static_cast<size_t>(1) << (F::kTwoAdicity + 1)),
+                 std::invalid_argument);
+  }
 }
 
 TYPED_TEST(NttTest, LagrangeRowEvaluatesFromPointValues) {
