@@ -157,22 +157,27 @@ class PrioDeployment {
     require(blobs.size() == opts_.num_servers, "process_submission: blob count");
     const size_t s = opts_.num_servers;
     const size_t leader = static_cast<size_t>(client_id % s);
-    const size_t ext_len = prover_.layout().total_len();
 
     refresh_contexts_if_due(servers_, opts_.refresh_every, 1);
 
     // Phase 1: every server decrypts, expands, and runs the local check.
+    // The decrypt/expand step writes into the engine's reusable landing
+    // buffer and the check runs allocation-free on the same scratch.
+    ensure_verifiers(1);
+    SnipVerifier<F>& ver = verifiers_[0];
     std::vector<std::optional<SnipLocalState<F>>> states(s);
     std::vector<std::vector<F>> x_shares(s);
     u64 seq = 0;
     for (size_t i = 0; i < s; ++i) {
       auto scope = clocks_.measure(i);
-      auto share = open_sealed_share<F>(sealer_, client_id, i, blobs[i],
-                                        ext_len, i == 0 ? &seq : nullptr);
-      if (!share) continue;  // malformed: server i will vote reject
-      states[i] = snip_local_check(servers_[i].ctx, i,
-                                   std::span<const F>(*share));
-      x_shares[i].assign(share->begin(), share->begin() + afe_->k_prime());
+      if (!open_sealed_share_into<F>(sealer_, client_id, i, blobs[i],
+                                     ver.ext_buffer(),
+                                     i == 0 ? &seq : nullptr)) {
+        continue;  // malformed: server i will vote reject
+      }
+      states[i] = ver.local_check(servers_[i].ctx, i);
+      x_shares[i].assign(ver.ext_buffer().begin(),
+                         ver.ext_buffer().begin() + afe_->k_prime());
     }
 
     // Replayed submission counters are rejected up front, like malformed
@@ -260,7 +265,6 @@ class PrioDeployment {
     for (const auto& sub : batch) {
       require(sub.blobs.size() == s, "process_batch: blob count");
     }
-    const size_t ext_len = prover_.layout().total_len();
     const size_t kp = afe_->k_prime();
     // One leader per batch; rotating it batch-to-batch spreads the relay
     // traffic the way the serial path's per-client rotation does.
@@ -268,22 +272,27 @@ class PrioDeployment {
 
     refresh_contexts_if_due(servers_, opts_.refresh_every, q_total);
     ThreadPool& pool = ensure_pool();
+    ensure_verifiers(pool.size());
 
     // Phase 1 (pooled): decrypt + expand + SNIP local check per
-    // (submission, server) pair. Task (q, i) writes only slot q*s+i.
+    // (submission, server) pair. Task (q, i) writes only slot q*s+i. Each
+    // worker owns one SnipVerifier: share expansion lands in its buffer
+    // and the check itself performs no heap allocations; the only
+    // per-task write outside scratch is the x-share slice kept for
+    // aggregation, copied into one flat batch-sized buffer.
     std::vector<std::optional<SnipLocalState<F>>> states(q_total * s);
-    std::vector<std::vector<F>> x_shares(q_total * s);
+    std::vector<F> x_shares(q_total * s * kp, F::zero());
     std::vector<u64> seqs(q_total, 0);
-    pool.parallel_for(q_total * s, [&](size_t task, size_t) {
+    pool.parallel_for(q_total * s, [&](size_t task, size_t worker) {
       const size_t q = task / s, i = task % s;
       const auto t0 = std::chrono::steady_clock::now();
-      auto share = open_sealed_share<F>(sealer_, batch[q].client_id, i,
-                                        batch[q].blobs[i], ext_len,
-                                        i == 0 ? &seqs[q] : nullptr);
-      if (share) {
-        states[task] =
-            snip_local_check(servers_[i].ctx, i, std::span<const F>(*share));
-        x_shares[task].assign(share->begin(), share->begin() + kp);
+      SnipVerifier<F>& ver = verifiers_[worker];
+      if (open_sealed_share_into<F>(sealer_, batch[q].client_id, i,
+                                    batch[q].blobs[i], ver.ext_buffer(),
+                                    i == 0 ? &seqs[q] : nullptr)) {
+        states[task] = ver.local_check(servers_[i].ctx, i);
+        std::copy(ver.ext_buffer().begin(), ver.ext_buffer().begin() + kp,
+                  x_shares.begin() + task * kp);
       }
       clocks_.add_busy(i, net::BusyClock::us_since(t0));
     });
@@ -378,8 +387,9 @@ class PrioDeployment {
         const size_t q = accepted_subs[task];
         std::vector<F>& a = acc[worker];
         for (size_t i = 0; i < s; ++i) {
-          const std::vector<F>& xs = x_shares[q * s + i];
-          for (size_t c = 0; c < kp; ++c) a[i * kp + c] += xs[c];
+          kernels::vec_add_inplace<F>(
+              std::span<F>(a.data() + i * kp, kp),
+              std::span<const F>(x_shares.data() + (q * s + i) * kp, kp));
         }
         // One task does every server's share of the work; split the time.
         const double us = net::BusyClock::us_since(t0) / static_cast<double>(s);
@@ -387,9 +397,9 @@ class PrioDeployment {
       });
       for (size_t w = 0; w < workers; ++w) {
         for (size_t i = 0; i < s; ++i) {
-          for (size_t c = 0; c < kp; ++c) {
-            servers_[i].accumulator[c] += acc[w][i * kp + c];
-          }
+          kernels::vec_add_inplace<F>(
+              std::span<F>(servers_[i].accumulator),
+              std::span<const F>(acc[w].data() + i * kp, kp));
         }
       }
       accepted_ += accepted_subs.size();
@@ -465,6 +475,14 @@ class PrioDeployment {
     return *pool_;
   }
 
+  // One verification-engine scratch object per pool worker (index 0 serves
+  // the serial path); grown once and reused for every later batch.
+  void ensure_verifiers(size_t count) {
+    while (verifiers_.size() < count) {
+      verifiers_.emplace_back(&afe_->valid_circuit());
+    }
+  }
+
   void send(size_t from, size_t to, std::span<const u8> payload) {
     // Server-to-server traffic is TLS in the paper; we count the payload
     // plus AEAD framing overhead.
@@ -482,6 +500,7 @@ class PrioDeployment {
   SubmissionSealer sealer_;
   ReplayGuard replay_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<SnipVerifier<F>> verifiers_;  // per-worker engine scratch
   u64 batch_counter_ = 0;
   size_t accepted_ = 0;
   size_t processed_ = 0;

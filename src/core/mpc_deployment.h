@@ -95,13 +95,15 @@ class PrioMpcDeployment {
     ++processed_;
     if (!parse_ok || !replay_.fresh(client_id, seq)) return false;
 
-    // Phase 1: SNIP over the triples (same rounds as the SNIP pipeline).
+    // Phase 1: SNIP over the triples (same rounds as the SNIP pipeline),
+    // run through the allocation-free engine scratch.
+    ensure_verifiers(1);
     F d = F::zero(), e = F::zero();
     std::vector<SnipLocalState<F>> states;
     states.reserve(s);
     for (size_t i = 0; i < s; ++i) {
       auto scope = clocks_.measure(i);
-      states.push_back(snip_local_check(
+      states.push_back(verifiers_[0].local_check(
           servers_[i].ctx, i,
           std::span<const F>(flat[i].data() + k, flat_len - k)));
       d += states.back().d_share;
@@ -208,12 +210,16 @@ class PrioMpcDeployment {
     const size_t leader = static_cast<size_t>(batch_counter_++ % s);
     refresh_contexts_if_due(servers_, opts_.refresh_every, q_total);
     ThreadPool& pool = ensure_pool();
+    ensure_verifiers(pool.size());
 
-    // Phase 0 (pooled): decrypt + expand + triple-SNIP local check.
+    // Phase 0 (pooled): decrypt + expand + triple-SNIP local check. The
+    // flat share vector outlives this phase (the Beaver MPC and the
+    // aggregation read it), so it is still materialized per (q, i); the
+    // local check itself runs on each worker's reusable engine scratch.
     std::vector<std::vector<F>> flat(q_total * s);
     std::vector<std::optional<SnipLocalState<F>>> states(q_total * s);
     std::vector<u64> seqs(q_total, 0);
-    pool.parallel_for(q_total * s, [&](size_t task, size_t) {
+    pool.parallel_for(q_total * s, [&](size_t task, size_t worker) {
       const size_t q = task / s, i = task % s;
       const auto t0 = std::chrono::steady_clock::now();
       auto share = open_sealed_share<F>(sealer_, batch[q].client_id, i,
@@ -221,7 +227,7 @@ class PrioMpcDeployment {
                                         i == 0 ? &seqs[q] : nullptr);
       if (share) {
         flat[task] = std::move(*share);
-        states[task] = snip_local_check(
+        states[task] = verifiers_[worker].local_check(
             servers_[i].ctx, i,
             std::span<const F>(flat[task].data() + k, flat_len - k));
       }
@@ -423,6 +429,12 @@ class PrioMpcDeployment {
     return *pool_;
   }
 
+  // Per-worker engine scratch for the triple-check SNIP (index 0 serves
+  // the serial path).
+  void ensure_verifiers(size_t count) {
+    while (verifiers_.size() < count) verifiers_.emplace_back(&triple_circuit_);
+  }
+
   void send(size_t from, size_t to, size_t payload_len) {
     framed_send(net_, from, to, payload_len);
   }
@@ -437,6 +449,7 @@ class PrioMpcDeployment {
   SubmissionSealer sealer_;
   ReplayGuard replay_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<SnipVerifier<F>> verifiers_;  // per-worker engine scratch
   u64 batch_counter_ = 0;
   size_t accepted_ = 0;
   size_t processed_ = 0;

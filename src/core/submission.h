@@ -3,20 +3,27 @@
 // the per-input client encoder (core/client.h), and the distributed
 // multi-process runtime (server/node.h).
 //
-// A submission is one sealed blob per server. Per-(client, submission)
-// keys: the submission counter is bound into the HKDF label AND supplies
-// the nonce, so two submissions from one client never reuse a (key, nonce)
-// pair, and a blob sealed for server j never opens at server i != j. Blob
-// layout: [u64 seq (LE)] || AEAD ciphertext; tampering with the cleartext
-// seq changes the derived key and the AEAD open fails.
+// A submission is one sealed blob per server. One PRF-derived key per
+// (client, server) pair -- cacheable, so the verification hot path pays
+// the key derivation at most once per client instead of once per blob -- and
+// the submission counter supplies the AEAD nonce, so two submissions from
+// an honest client never reuse a (key, nonce) pair, and a blob sealed for
+// server j never opens at server i != j. Blob layout: [u64 seq (LE)] ||
+// AEAD ciphertext; tampering with the cleartext seq changes the nonce and
+// the AEAD open fails. (A malicious client could re-seal different
+// payloads under its own repeated seq and leak the XOR of its own
+// plaintexts to the server that legitimately decrypts them -- a
+// self-inflicted non-issue, and the replay floor keeps at most one of
+// them aggregatable.)
 #pragma once
 
+#include <map>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "crypto/aead.h"
-#include "crypto/hkdf.h"
+#include "crypto/chacha20.h"
 #include "net/wire.h"
 #include "share/share.h"
 #include "util/common.h"
@@ -46,7 +53,10 @@ inline std::vector<u8> master_seed_bytes(u64 seed) {
 class SubmissionSealer {
  public:
   explicit SubmissionSealer(std::span<const u8> master)
-      : master_(master.begin(), master.end()) {}
+      : master_(master.begin(), master.end()) {
+    require(master_.size() == ChaCha20::kKeyLen,
+            "SubmissionSealer: master secret must be 32 bytes");
+  }
 
   // Advances the per-client submission counter (thread-safe).
   u64 next_seq(u64 client_id) const {
@@ -58,7 +68,7 @@ class SubmissionSealer {
                        std::span<const u8> payload) const {
     net::Writer blob;
     blob.u64_(seq);
-    blob.raw(Aead::seal(key(client_id, server, seq), nonce(seq), {}, payload));
+    blob.raw(Aead::seal(key(client_id, server), nonce(seq), {}, payload));
     return blob.take();
   }
 
@@ -71,19 +81,41 @@ class SubmissionSealer {
     u64 seq = prefix.u64_();
     if (!prefix.ok()) return std::nullopt;
     if (seq_out) *seq_out = seq;
-    return Aead::open(key(client_id, server, seq), nonce(seq), {},
+    return Aead::open(key(client_id, server), nonce(seq), {},
                       blob.subspan(8));
   }
 
  private:
-  std::array<u8, 32> key(u64 client_id, size_t server, u64 seq) const {
-    net::Writer label;
-    label.u64_(client_id);
-    label.u64_(server);
-    label.u64_(seq);
-    auto k = hkdf_sha256(master_, label.data(), {}, 32);
+  // Derives (and caches) the key sealing client->server traffic: one
+  // ChaCha20 block under the 32-byte master secret, with the (client,
+  // server) pair as the nonce. The master secret is itself uniform, so a
+  // single keyed-PRF invocation yields independent per-pair keys --
+  // HKDF's SHA256 extract+expand added several microseconds per cold
+  // derivation to the verification hot path for no additional security.
+  // The seq is deliberately NOT part of the derivation: it varies per
+  // submission, and keying on it would defeat the cache. Uniqueness of
+  // the (key, nonce) pair comes from seq supplying the AEAD nonce.
+  std::array<u8, 32> key(u64 client_id, size_t server) const {
+    const std::pair<u64, u64> id{client_id, server};
+    {
+      std::lock_guard<std::mutex> lock(key_mu_);
+      auto it = key_cache_.find(id);
+      if (it != key_cache_.end()) return it->second;
+    }
+    std::array<u8, 12> label{};
+    for (int i = 0; i < 8; ++i) label[i] = static_cast<u8>(client_id >> (8 * i));
+    for (int i = 0; i < 4; ++i) {
+      label[8 + i] = static_cast<u8>(static_cast<u32>(server) >> (8 * i));
+    }
+    u8 block[ChaCha20::kBlockLen];
+    ChaCha20::block(master_, /*counter=*/0, label, block);
     std::array<u8, 32> out;
-    std::copy(k.begin(), k.end(), out.begin());
+    std::copy(block, block + 32, out.begin());
+    std::lock_guard<std::mutex> lock(key_mu_);
+    // Hard cap so a flood of distinct client ids cannot exhaust memory;
+    // dropping the cache only costs re-derivation.
+    if (key_cache_.size() >= kMaxCachedKeys) key_cache_.clear();
+    key_cache_.emplace(id, out);
     return out;
   }
 
@@ -93,9 +125,13 @@ class SubmissionSealer {
     return n;
   }
 
+  static constexpr size_t kMaxCachedKeys = 1 << 16;
+
   std::vector<u8> master_;
   mutable std::mutex mu_;
   mutable std::unordered_map<u64, u64> next_seq_;
+  mutable std::mutex key_mu_;
+  mutable std::map<std::pair<u64, u64>, std::array<u8, 32>> key_cache_;
 };
 
 // Splits a flat extended vector into PRG-compressed per-server shares
@@ -126,6 +162,36 @@ std::vector<std::vector<u8>> seal_shared_vector(const SubmissionSealer& sealer,
   return blobs;
 }
 
+// Opens a sealed blob and decodes it into the caller-owned `out` buffer
+// (PRG-seed shares are bulk-expanded in place, explicit shares parsed
+// element by element) -- the batch pipelines point this at their
+// SnipVerifier's landing buffer so decryption feeds verification with no
+// intermediate vector. Returns false (leaving `out` unspecified) on any
+// malformed blob. Decodes exactly the blobs open_sealed_share does, to
+// identical elements.
+template <PrimeField F>
+bool open_sealed_share_into(const SubmissionSealer& sealer, u64 client_id,
+                            size_t server, std::span<const u8> blob,
+                            std::span<F> out, u64* seq_out = nullptr) {
+  auto pt = sealer.open(client_id, server, blob, seq_out);
+  if (!pt) return false;
+  net::Reader r(*pt);
+  u8 kind = r.u8_();
+  if (!r.ok()) return false;
+  if (kind == kShareSeed) {
+    if (r.remaining() != 32) return false;
+    expand_share_seed_into<F>(std::span<const u8>(pt->data() + 1, 32), out);
+    return true;
+  }
+  if (kind == kShareExplicit) {
+    u32 count = r.u32_();
+    if (!r.ok() || count != out.size()) return false;
+    for (size_t i = 0; i < out.size(); ++i) out[i] = r.field<F>();
+    return r.ok() && r.at_end();
+  }
+  return false;
+}
+
 // Opens a sealed blob and decodes it into a length-`len` share vector
 // (PRG-seed shares are expanded, explicit shares parsed).
 template <PrimeField F>
@@ -134,22 +200,12 @@ std::optional<std::vector<F>> open_sealed_share(const SubmissionSealer& sealer,
                                                 std::span<const u8> blob,
                                                 size_t len,
                                                 u64* seq_out = nullptr) {
-  auto pt = sealer.open(client_id, server, blob, seq_out);
-  if (!pt) return std::nullopt;
-  net::Reader r(*pt);
-  u8 kind = r.u8_();
-  if (!r.ok()) return std::nullopt;
-  if (kind == kShareSeed) {
-    if (r.remaining() != 32) return std::nullopt;
-    std::vector<u8> seed = {pt->begin() + 1, pt->end()};
-    return expand_share_seed<F>(seed, len);
+  std::vector<F> out(len, F::zero());
+  if (!open_sealed_share_into<F>(sealer, client_id, server, blob,
+                                 std::span<F>(out), seq_out)) {
+    return std::nullopt;
   }
-  if (kind == kShareExplicit) {
-    auto v = r.field_vector<F>();
-    if (!r.ok() || !r.at_end() || v.size() != len) return std::nullopt;
-    return v;
-  }
-  return std::nullopt;
+  return out;
 }
 
 // Server-side replay guard (replicated high-water mark over the cleartext

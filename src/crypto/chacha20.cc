@@ -28,6 +28,79 @@ inline void quarter_round(u32& a, u32& b, u32& c, u32& d) {
   c += d; b ^= c; b = rotl32(b, 7);
 }
 
+// Builds the 16-word input state of RFC 8439 section 2.3.
+inline void init_state(u32 state[16], std::span<const u8> key, u32 counter,
+                       std::span<const u8> nonce) {
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.data() + 4 * i);
+}
+
+// Four independent keystream blocks (counters counter..counter+3) computed
+// in lane-interleaved form: every ChaCha word is a 4-lane vector and the
+// quarter rounds run vertically, one SIMD op per ChaCha op (SSE2 is in
+// the x86-64 baseline). GCC/Clang generic vector extensions keep this
+// intrinsics-free; other compilers fall back to four scalar blocks. This
+// is the bulk path under both PRG share expansion and AEAD sealing; the
+// single-block function above stays the scalar reference (the two are
+// cross-checked in tests/test_crypto.cc).
+constexpr size_t kBulkBlocks = 4;
+
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef u32 v4u32 __attribute__((vector_size(16)));
+
+inline v4u32 vrotl(v4u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round_x4(v4u32& a, v4u32& b, v4u32& c, v4u32& d) {
+  a += b; d ^= a; d = vrotl(d, 16);
+  c += d; b ^= c; b = vrotl(b, 12);
+  a += b; d ^= a; d = vrotl(d, 8);
+  c += d; b ^= c; b = vrotl(b, 7);
+}
+
+void blocks_x4(std::span<const u8> key, u32 counter, std::span<const u8> nonce,
+               u8* out) {
+  u32 state[16];
+  init_state(state, key, counter, nonce);
+  v4u32 x[16];
+  for (int j = 0; j < 16; ++j) x[j] = v4u32{state[j], state[j], state[j], state[j]};
+  x[12] = v4u32{counter, counter + 1, counter + 2, counter + 3};
+  for (int round = 0; round < 10; ++round) {
+    quarter_round_x4(x[0], x[4], x[8], x[12]);
+    quarter_round_x4(x[1], x[5], x[9], x[13]);
+    quarter_round_x4(x[2], x[6], x[10], x[14]);
+    quarter_round_x4(x[3], x[7], x[11], x[15]);
+    quarter_round_x4(x[0], x[5], x[10], x[15]);
+    quarter_round_x4(x[1], x[6], x[11], x[12]);
+    quarter_round_x4(x[2], x[7], x[8], x[13]);
+    quarter_round_x4(x[3], x[4], x[9], x[14]);
+  }
+  for (size_t l = 0; l < kBulkBlocks; ++l) {
+    for (int j = 0; j < 16; ++j) {
+      const u32 base = j == 12 ? counter + static_cast<u32>(l) : state[j];
+      store32_le(out + ChaCha20::kBlockLen * l + 4 * j, x[j][l] + base);
+    }
+  }
+}
+
+#else  // portable fallback: four sequential scalar blocks
+
+void blocks_x4(std::span<const u8> key, u32 counter, std::span<const u8> nonce,
+               u8* out) {
+  for (size_t l = 0; l < kBulkBlocks; ++l) {
+    ChaCha20::block(key, counter + static_cast<u32>(l), nonce,
+                    std::span<u8>(out + ChaCha20::kBlockLen * l,
+                                  ChaCha20::kBlockLen));
+  }
+}
+
+#endif
+
 }  // namespace
 
 void ChaCha20::block(std::span<const u8> key, u32 counter,
@@ -37,13 +110,7 @@ void ChaCha20::block(std::span<const u8> key, u32 counter,
   require(out.size() == kBlockLen, "ChaCha20: output must be 64 bytes");
 
   u32 state[16];
-  state[0] = 0x61707865;  // "expa"
-  state[1] = 0x3320646e;  // "nd 3"
-  state[2] = 0x79622d32;  // "2-by"
-  state[3] = 0x6b206574;  // "te k"
-  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.data() + 4 * i);
-  state[12] = counter;
-  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.data() + 4 * i);
+  init_state(state, key, counter, nonce);
 
   u32 x[16];
   std::memcpy(x, state, sizeof(x));
@@ -62,8 +129,18 @@ void ChaCha20::block(std::span<const u8> key, u32 counter,
 
 void ChaCha20::xor_stream(std::span<const u8> key, u32 counter,
                           std::span<const u8> nonce, std::span<u8> data) {
-  u8 ks[kBlockLen];
+  require(key.size() == kKeyLen, "ChaCha20: key must be 32 bytes");
+  require(nonce.size() == kNonceLen, "ChaCha20: nonce must be 12 bytes");
   size_t off = 0;
+  // Bulk of the message: four keystream blocks per core invocation.
+  u8 ks4[kBulkBlocks * kBlockLen];
+  while (data.size() - off >= sizeof(ks4)) {
+    blocks_x4(key, counter, nonce, ks4);
+    counter += kBulkBlocks;
+    for (size_t i = 0; i < sizeof(ks4); ++i) data[off + i] ^= ks4[i];
+    off += sizeof(ks4);
+  }
+  u8 ks[kBlockLen];
   while (off < data.size()) {
     block(key, counter++, nonce, ks);
     size_t n = std::min(data.size() - off, kBlockLen);
@@ -92,6 +169,37 @@ void ChaChaPrg::fill(std::span<u8> out) {
     std::memcpy(out.data() + off, buf_.data() + pos_, n);
     pos_ += n;
     off += n;
+  }
+}
+
+void ChaChaPrg::fill_blocks(std::span<u8> out) {
+  if (out.empty()) return;  // keep memcpy away from a null span
+  size_t off = 0;
+  // Drain any buffered bytes first so the stream position matches fill().
+  if (pos_ < buf_.size()) {
+    size_t n = std::min(out.size(), buf_.size() - pos_);
+    std::memcpy(out.data(), buf_.data() + pos_, n);
+    pos_ += n;
+    off += n;
+  }
+  // Whole blocks go straight into the caller's buffer: no memcpy, no
+  // per-8-byte round-trips through buf_; four at a time through the
+  // lane-interleaved core while the request is large enough.
+  while (out.size() - off >= kBulkBlocks * ChaCha20::kBlockLen) {
+    blocks_x4(key_, counter_, nonce_, out.data() + off);
+    counter_ += kBulkBlocks;
+    off += kBulkBlocks * ChaCha20::kBlockLen;
+  }
+  while (out.size() - off >= ChaCha20::kBlockLen) {
+    ChaCha20::block(key_, counter_++, nonce_,
+                    out.subspan(off, ChaCha20::kBlockLen));
+    off += ChaCha20::kBlockLen;
+  }
+  if (off < out.size()) {
+    refill();
+    size_t n = out.size() - off;
+    std::memcpy(out.data() + off, buf_.data(), n);
+    pos_ = n;
   }
 }
 

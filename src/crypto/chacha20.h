@@ -39,6 +39,12 @@ class ChaChaPrg {
   // Fills `out` with the next keystream bytes.
   void fill(std::span<u8> out);
 
+  // Bulk path: produces exactly the same byte stream as fill(), but whole
+  // 64-byte keystream blocks are generated directly into `out` instead of
+  // round-tripping through the internal one-block buffer. The two entry
+  // points share the stream position, so they can be interleaved freely.
+  void fill_blocks(std::span<u8> out);
+
   u64 next_u64();
 
  private:

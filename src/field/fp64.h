@@ -41,16 +41,21 @@ class Fp64 {
   constexpr u64 to_u64() const { return v_; }
 
   friend Fp64 operator+(Fp64 a, Fp64 b) {
+    // a.v_ + b.v_ < 2p < 2^65 may wrap; 2^64 = p + (2^32 - 1) mod p. The
+    // corrections are mask arithmetic, not branches, so additions inside
+    // the bulk kernels (field/kernels.h) stay straight-line code the
+    // compiler can vectorize.
     u64 r = a.v_ + b.v_;
-    // a.v_ + b.v_ < 2p < 2^65 may wrap; 2^64 = p + (2^32 - 1) mod p.
-    if (r < a.v_) r += 0xFFFFFFFFull;
-    if (r >= kP) r -= kP;
+    r += static_cast<u64>(r < a.v_) * 0xFFFFFFFFull;  // fold 2^64 overflow
+    r -= static_cast<u64>(r >= kP) * kP;
     return Fp64(r);
   }
 
   friend Fp64 operator-(Fp64 a, Fp64 b) {
+    // On borrow the wrapped value is a - b + 2^64 = (a - b + p) + (2^32-1),
+    // so subtracting 2^32 - 1 lands in [0, p). Branchless, as above.
     u64 r = a.v_ - b.v_;
-    if (a.v_ < b.v_) r += kP;  // wraps mod 2^64 back into [0, p)
+    r -= static_cast<u64>(a.v_ < b.v_) * 0xFFFFFFFFull;
     return Fp64(r);
   }
 
@@ -93,23 +98,26 @@ class Fp64 {
   explicit constexpr Fp64(u64 v) : v_(v) {}
 
   // Reduces a 128-bit value mod p using 2^64 = 2^32 - 1 and 2^96 = -1 (mod p).
+  // Branchless: every correction is a comparison-derived mask, so back-to-
+  // back reductions (Lagrange-row inner products, the NTT butterflies)
+  // execute as straight-line code with no data-dependent branches.
   static constexpr u64 reduce128(u128 x) {
     u64 lo = static_cast<u64>(x);
     u64 hi = static_cast<u64>(x >> 64);
     u64 hi_hi = hi >> 32;
     u64 hi_lo = hi & 0xFFFFFFFFull;
-    // x = lo + 2^64*hi_lo + 2^96*hi_hi = lo + (2^32-1)*hi_lo - hi_hi (mod p)
-    u64 t = lo;
-    if (t >= hi_hi) {
-      t -= hi_hi;
-    } else {
-      t = t - hi_hi + kP;  // u64 wraparound lands in [0, p)
-    }
-    u64 s = hi_lo * 0xFFFFFFFFull;  // < 2^64, but may exceed p
-    if (s >= kP) s -= kP;
+    // x = lo + 2^64*hi_lo + 2^96*hi_hi = lo + (2^32-1)*hi_lo - hi_hi (mod p).
+    // Borrow correction: the wrapped lo - hi_hi is the true value + 2^64,
+    // and 2^64 = 2^32 - 1 (mod p); the wrapped value is >= p > 2^32 - 1,
+    // so this second subtraction cannot underflow.
+    u64 t = lo - hi_hi;
+    t -= static_cast<u64>(lo < hi_hi) * 0xFFFFFFFFull;
+    u64 s = hi_lo * 0xFFFFFFFFull;  // <= (2^32-1)^2 = 2^64 - 2^33 + 1
     u64 r = t + s;
-    if (r < t) r += 0xFFFFFFFFull;  // fold the 2^64 overflow
-    if (r >= kP) r -= kP;
+    // Overflow fold: r < 2^64 - 2^33 after a wrap, so adding 2^32 - 1
+    // cannot wrap again, and the result stays < 2^64 < 2p.
+    r += static_cast<u64>(r < t) * 0xFFFFFFFFull;
+    r -= static_cast<u64>(r >= kP) * kP;
     return r;
   }
 

@@ -32,6 +32,11 @@ inline OpCounts g_counts{};
 inline void bump_field_mul() {
   if (g_enabled) [[unlikely]] ++g_counts.field_mul;
 }
+// Bulk variant for the vectorized kernels (field/kernels.h): one counter
+// update per span keeps the instrumentation out of the inner loops.
+inline void bump_field_mul(u64 n) {
+  if (g_enabled) [[unlikely]] g_counts.field_mul += n;
+}
 inline void bump_field_inv() {
   if (g_enabled) [[unlikely]] ++g_counts.field_inv;
 }

@@ -9,6 +9,9 @@
 // iterative Cooley-Tukey transform.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "field/field.h"
@@ -17,6 +20,13 @@
 namespace prio {
 
 // Precomputed twiddle factors for a fixed power-of-two domain size.
+//
+// The O(n) root/inverse-root tables are built once per (field, size) in a
+// process-wide cache and shared by every NttDomain instance: a deployment
+// constructs one SnipProver plus one VerificationContext per server, each
+// wanting the same two domains, and rebuilding the twiddles per instance
+// was pure waste. Instances hold a shared_ptr, so the tables are immutable
+// and safe to read from any number of threads.
 template <PrimeField F>
 class NttDomain {
  public:
@@ -24,31 +34,49 @@ class NttDomain {
   explicit NttDomain(size_t n) : n_(n), log_n_(log2_exact(n)) {
     require(n >= 1 && next_pow2(n) == n, "NttDomain: size must be a power of two");
     require(log_n_ <= F::kTwoAdicity, "NttDomain: size exceeds field 2-adicity");
-    F w = F::root_of_unity(log_n_);
-    roots_.resize(n_);
-    inv_roots_.resize(n_);
-    roots_[0] = F::one();
-    for (size_t i = 1; i < n_; ++i) roots_[i] = roots_[i - 1] * w;
-    for (size_t i = 0; i < n_; ++i) inv_roots_[i] = roots_[(n_ - i) % n_];
-    n_inv_ = F::from_u64(n_).inv();
+    tables_ = shared_tables(n_, log_n_);
   }
 
   size_t size() const { return n_; }
 
   // w^i for the domain generator w.
-  const F& root(size_t i) const { return roots_[i % n_]; }
+  const F& root(size_t i) const { return tables_->roots[i % n_]; }
 
   // In-place forward transform: coefficients -> evaluations, i.e.
   // a[i] <- sum_j a[j] * w^(ij).
-  void forward(std::vector<F>& a) const { transform(a, roots_); }
+  void forward(std::vector<F>& a) const { transform(a, tables_->roots); }
 
   // In-place inverse transform: evaluations -> coefficients.
   void inverse(std::vector<F>& a) const {
-    transform(a, inv_roots_);
-    for (F& x : a) x *= n_inv_;
+    transform(a, tables_->inv_roots);
+    for (F& x : a) x *= tables_->n_inv;
   }
 
  private:
+  struct Tables {
+    std::vector<F> roots;
+    std::vector<F> inv_roots;
+    F n_inv;
+  };
+
+  static std::shared_ptr<const Tables> shared_tables(size_t n, int log_n) {
+    static std::mutex mu;
+    static std::unordered_map<size_t, std::shared_ptr<const Tables>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+    auto t = std::make_shared<Tables>();
+    F w = F::root_of_unity(log_n);
+    t->roots.resize(n);
+    t->inv_roots.resize(n);
+    t->roots[0] = F::one();
+    for (size_t i = 1; i < n; ++i) t->roots[i] = t->roots[i - 1] * w;
+    for (size_t i = 0; i < n; ++i) t->inv_roots[i] = t->roots[(n - i) % n];
+    t->n_inv = F::from_u64(n).inv();
+    cache.emplace(n, t);
+    return t;
+  }
+
   void transform(std::vector<F>& a, const std::vector<F>& roots) const {
     require(a.size() == n_, "NttDomain: input size mismatch");
     // Bit-reversal permutation.
@@ -74,9 +102,7 @@ class NttDomain {
 
   size_t n_;
   int log_n_;
-  std::vector<F> roots_;
-  std::vector<F> inv_roots_;
-  F n_inv_;
+  std::shared_ptr<const Tables> tables_;
 };
 
 }  // namespace prio

@@ -85,9 +85,6 @@ class ServerNode {
         // Same shared-context seed as PrioDeployment, so a node mesh and a
         // simnet deployment over the same inputs walk identical r schedules.
         ctx_(&afe->valid_circuit(), cfg.num_servers, cfg.master_seed ^ 0x5eed),
-        prover_layout_(SnipLayout::for_circuit_dims(
-            afe->valid_circuit().num_inputs(),
-            afe->valid_circuit().num_mul_gates())),
         sealer_(master_),
         accumulator_(afe->k_prime(), F::zero()) {
     require(cfg.num_servers >= 2, "ServerNode: need >= 2 servers");
@@ -116,7 +113,6 @@ class ServerNode {
     const size_t me = cfg_.self;
     const u64 batch_no = batch_counter_++;
     const size_t leader = static_cast<size_t>(batch_no % s);
-    const size_t ext_len = prover_layout_.total_len();
     const size_t kp = afe_->k_prime();
 
     if (ctx_.refresh_due(cfg_.refresh_every, q)) {
@@ -125,17 +121,27 @@ class ServerNode {
     }
     ctx_.note_submissions(q);
 
-    // Phase 1 (pooled): decrypt + expand + SNIP local check, own share only.
+    // Phase 1 (pooled): decrypt + expand + SNIP local check, own share
+    // only. Every worker thread owns a SnipVerifier: the expansion lands
+    // in its reusable buffer and the check allocates nothing; only the
+    // x-share slice needed for aggregation is copied out, into one flat
+    // batch-sized buffer.
+    ThreadPool& pool = ensure_pool();
+    ensure_verifiers(pool.size());
     std::vector<std::optional<SnipLocalState<F>>> states(q);
-    std::vector<std::vector<F>> x_shares(q);
+    std::vector<F> x_shares(q * kp, F::zero());
     std::vector<u64> seqs(q, 0);
     std::vector<u8> parsed(q, 0);
-    ensure_pool().parallel_for(q, [&](size_t v, size_t) {
-      auto share = open_sealed_share<F>(sealer_, batch[v].client_id, me,
-                                        batch[v].blob, ext_len, &seqs[v]);
-      if (!share) return;
-      states[v] = snip_local_check(ctx_, me, std::span<const F>(*share));
-      x_shares[v].assign(share->begin(), share->begin() + kp);
+    pool.parallel_for(q, [&](size_t v, size_t worker) {
+      SnipVerifier<F>& ver = verifiers_[worker];
+      if (!open_sealed_share_into<F>(sealer_, batch[v].client_id, me,
+                                     batch[v].blob, ver.ext_buffer(),
+                                     &seqs[v])) {
+        return;
+      }
+      states[v] = ver.local_check(ctx_, me);
+      std::copy(ver.ext_buffer().begin(), ver.ext_buffer().begin() + kp,
+                x_shares.begin() + v * kp);
       parsed[v] = 1;
     });
 
@@ -226,7 +232,7 @@ class ServerNode {
 
     // Round 3: sigma + output-combination shares for the live set.
     std::vector<F> sigma_shares(ql), out_shares(ql);
-    ensure_pool().parallel_for(ql, [&](size_t v, size_t) {
+    pool.parallel_for(ql, [&](size_t v, size_t) {
       const auto& st = *states[live_idx[v]];
       sigma_shares[v] = snip_sigma_share(ctx_, st, d_total[v], e_total[v]);
       out_shares[v] = st.out_combo;
@@ -279,7 +285,9 @@ class ServerNode {
       if (!replay_.fresh(batch[v].client_id, seqs[v])) continue;
       replay_.accept(batch[v].client_id, seqs[v]);
       verdicts[v] = 1;
-      for (size_t c = 0; c < kp; ++c) accumulator_[c] += x_shares[v][c];
+      kernels::vec_add_inplace<F>(
+          std::span<F>(accumulator_),
+          std::span<const F>(x_shares.data() + v * kp, kp));
       ++accepted_;
     }
     processed_ += q;
@@ -448,16 +456,23 @@ class ServerNode {
     return *pool_;
   }
 
+  // Per-worker engine scratch, grown once and reused across batches.
+  void ensure_verifiers(size_t count) {
+    while (verifiers_.size() < count) {
+      verifiers_.emplace_back(&afe_->valid_circuit());
+    }
+  }
+
   const Afe* afe_;
   ServerNodeConfig cfg_;
   net::Transport* transport_;
   std::vector<u8> master_;
   VerificationContext<F> ctx_;
-  SnipLayout prover_layout_;
   SubmissionSealer sealer_;
   ReplayGuard replay_;
   std::vector<F> accumulator_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<SnipVerifier<F>> verifiers_;  // per-worker engine scratch
   u64 batch_counter_ = 0;
   u64 refreshes_ = 1;  // the context constructor performs the first refresh
   u64 accepted_ = 0;

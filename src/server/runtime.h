@@ -42,11 +42,13 @@ class ServerRuntime {
     int assemble_wait_ms = 5'000;   // followers: grace for in-flight blobs
     // Intake bound: submissions buffered but not yet consumed by a batch
     // are capped, so a flood of distinct (client, seq) pairs cannot
-    // exhaust memory. Over the cap, the OLDEST buffered submission is
-    // evicted to admit the new one (an evicted-then-announced submission
-    // assembles as an empty blob and is voted reject, which a flood can
-    // exploit against in-flight honest traffic -- but a full-buffer nack
-    // would jam intake outright, which is strictly worse).
+    // exhaust memory. Over the cap, the OLDEST un-announced submission is
+    // evicted to admit the new one. The sequencer moves announced blobs
+    // out of the evictable buffer at announcement time, so an announced
+    // batch slot is never wasted on a submission server 0 itself evicted;
+    // a follower that loses a blob to a flood still assembles it as an
+    // empty (reject) share. A full-buffer nack would jam intake outright,
+    // which is strictly worse.
     size_t max_buffered = 1 << 16;
     // Largest accepted submission blob. Honest blobs are a few KB (seq
     // prefix + sealed PRG seed or explicit share); without a byte bound a
@@ -186,18 +188,10 @@ class ServerRuntime {
             if (buffer_.size() >= opts_.max_buffered) evict_oldest_locked();
             auto [it, inserted] =
                 buffer_.try_emplace({cid, seq}, std::move(blob));
+            // intake_order_ is the single insertion-order record: it
+            // drives eviction on every server AND batch sequencing on
+            // server 0 (announce_batch pops its oldest live keys).
             if (inserted) intake_order_.push_back({cid, seq});
-            // Only server 0 sequences batches; followers keep no arrival
-            // log (it would otherwise grow forever unread).
-            if (inserted && node_->self() == 0) {
-              arrivals_.push_back({cid, seq});
-              // Bound the sequencing queue like the buffer: under a flood
-              // the oldest un-announced entries fall off the front, so
-              // server 0 announces the newest window (matching eviction).
-              while (arrivals_.size() > opts_.max_buffered) {
-                arrivals_.pop_front();
-              }
-            }
           }
           cv_.notify_all();
           net::Writer ack;
@@ -262,18 +256,36 @@ class ServerRuntime {
 
   // ---- batch coordination ---------------------------------------------
 
-  // Server 0: waits until `want` unannounced submissions have arrived,
-  // then broadcasts their identifiers in arrival order.
+  // Server 0: waits until `want` still-buffered submissions have arrived,
+  // then broadcasts their identifiers in arrival order. The announced
+  // blobs are moved out of the intake buffer into pending_ under the same
+  // lock, so an announced submission can never be evicted afterwards --
+  // every announced batch slot is backed by a real blob on the sequencer
+  // (followers may still lack one, which assembles as an empty blob and
+  // votes reject, as before).
   std::vector<std::pair<u64, u64>> announce_batch(size_t want) {
     std::vector<std::pair<u64, u64>> ids;
+    ids.reserve(want);
     {
       std::unique_lock<std::mutex> lock(mu_);
+      // buffer_ holds exactly the live un-announced submissions, so its
+      // size (unlike a separate arrival log's) never counts evicted or
+      // already-consumed entries.
       if (!cv_.wait_for(lock, std::chrono::milliseconds(opts_.announce_wait_ms),
-                        [&] { return arrivals_.size() >= want; })) {
+                        [&] { return buffer_.size() >= want; })) {
         throw net::TransportError("leader: batch never filled");
       }
-      ids.assign(arrivals_.begin(), arrivals_.begin() + want);
-      arrivals_.erase(arrivals_.begin(), arrivals_.begin() + want);  // deque: O(want)
+      while (ids.size() < want) {
+        // Every live buffered key appears in intake_order_ exactly once,
+        // so the deque cannot run dry before `want` live keys are found.
+        auto key = intake_order_.front();
+        intake_order_.pop_front();
+        auto it = buffer_.find(key);
+        if (it == buffer_.end()) continue;  // stale: consumed or evicted
+        pending_.emplace(key, std::move(it->second));
+        buffer_.erase(it);
+        ids.push_back(key);
+      }
     }
     net::Writer w;
     w.u8_(kBatchAnnounce);
@@ -311,7 +323,8 @@ class ServerRuntime {
     return ids;
   }
 
-  // Pulls the announced blobs out of the buffer, giving stragglers a grace
+  // Pulls the announced blobs out of pending_ (sequencer: moved there at
+  // announcement) or the buffer (followers), giving stragglers a grace
   // period; a blob that never arrives becomes an empty (reject) share.
   std::vector<SubmissionShare> assemble(
       const std::vector<std::pair<u64, u64>>& ids) {
@@ -321,6 +334,12 @@ class ServerRuntime {
     std::unique_lock<std::mutex> lock(mu_);
     for (size_t v = 0; v < ids.size(); ++v) {
       shares[v].client_id = ids[v].first;
+      auto pit = pending_.find(ids[v]);
+      if (pit != pending_.end()) {
+        shares[v].blob = std::move(pit->second);
+        pending_.erase(pit);
+        continue;
+      }
       cv_.wait_until(lock, deadline,
                      [&] { return buffer_.count(ids[v]) > 0; });
       auto it = buffer_.find(ids[v]);
@@ -364,12 +383,15 @@ class ServerRuntime {
   }
 
   std::map<std::pair<u64, u64>, std::vector<u8>> buffer_;
-  // Every buffered key in insertion order (all servers), used for
-  // eviction; may briefly hold stale keys for already-consumed entries.
+  // Every buffered key in insertion order, the ONE structure driving both
+  // eviction (all servers: oldest live key goes first) and batch
+  // sequencing (server 0: announce_batch pops the oldest live keys). May
+  // briefly hold stale keys for consumed/evicted entries, skipped lazily.
   std::deque<std::pair<u64, u64>> intake_order_;
-  // Arrival order of buffered submissions, kept only on server 0 (the
-  // batch sequencer); consumed entries are trimmed at each announcement.
-  std::deque<std::pair<u64, u64>> arrivals_;
+  // Server 0 only: blobs already announced but not yet assembled. Moved
+  // out of buffer_ at announcement time so intake pressure can never
+  // evict a submission the mesh has been promised.
+  std::map<std::pair<u64, u64>, std::vector<u8>> pending_;
   std::map<u32, typename ServerNode<F, Afe>::EpochAggregate> published_;
 };
 

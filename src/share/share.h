@@ -14,11 +14,15 @@
 #include "crypto/chacha20.h"
 #include "crypto/rng.h"
 #include "field/field.h"
+#include "field/kernels.h"
 
 namespace prio {
 
 // Expands a 32-byte seed into `len` uniform field elements (rejection
 // sampling on the PRG stream, as in the paper's AES-counter-mode PRG).
+// Scalar reference implementation: one fill(kByteLen) round-trip per
+// sample attempt. The pipelines use expand_share_seed_into below, which
+// produces identical elements from the same seed.
 template <PrimeField F>
 std::vector<F> expand_share_seed(std::span<const u8> seed32, size_t len) {
   ChaChaPrg prg(seed32);
@@ -33,6 +37,39 @@ std::vector<F> expand_share_seed(std::span<const u8> seed32, size_t len) {
     }
   }
   return out;
+}
+
+// Bulk expansion into a caller-owned buffer: whole keystream chunks are
+// generated at once (ChaChaPrg::fill_blocks) and rejection-sampled in
+// bulk, eliminating both the per-element fill(8) round-trips and the
+// returned temporary vector. Consumes the keystream in the same
+// kByteLen-window order as expand_share_seed, so the elements written are
+// bit-identical to the reference for any seed and length.
+template <PrimeField F>
+void expand_share_seed_into(std::span<const u8> seed32, std::span<F> out) {
+  ChaChaPrg prg(seed32);
+  constexpr size_t kChunkBytes = 4096;  // 64 keystream blocks per request
+  static_assert(kChunkBytes % F::kByteLen == 0);
+  u8 buf[kChunkBytes];
+  size_t filled = 0;
+  while (filled < out.size()) {
+    // Request only what the remaining elements need, rounded up to whole
+    // blocks; rejected samples simply trigger another chunk.
+    const size_t need = (out.size() - filled) * F::kByteLen;
+    const size_t want = std::min(
+        kChunkBytes,
+        (need + ChaCha20::kBlockLen - 1) / ChaCha20::kBlockLen *
+            ChaCha20::kBlockLen);
+    prg.fill_blocks(std::span<u8>(buf, want));
+    for (size_t off = 0; off + F::kByteLen <= want && filled < out.size();
+         off += F::kByteLen) {
+      F elem;
+      if (F::from_random_bytes(std::span<const u8>(buf + off, F::kByteLen),
+                               &elem)) {
+        out[filled++] = elem;
+      }
+    }
+  }
 }
 
 // Plain additive sharing: s full vectors that sum to x.
@@ -68,10 +105,14 @@ CompressedShares<F> share_vector_compressed(std::span<const F> x, size_t s,
   CompressedShares<F> out;
   out.seeds.resize(s - 1);
   out.explicit_share.assign(x.begin(), x.end());
+  // One buffer reused across all s-1 seeds; each expansion lands in place
+  // and is subtracted with the bulk kernel (no per-seed temporary vector).
+  std::vector<F> expanded(x.size());
   for (auto& seed : out.seeds) {
     rng.fill(seed);
-    std::vector<F> expanded = expand_share_seed<F>(seed, x.size());
-    for (size_t i = 0; i < x.size(); ++i) out.explicit_share[i] -= expanded[i];
+    expand_share_seed_into<F>(seed, std::span<F>(expanded));
+    kernels::vec_sub_inplace<F>(std::span<F>(out.explicit_share),
+                                std::span<const F>(expanded));
   }
   return out;
 }

@@ -36,6 +36,7 @@
 
 #include "circuit/circuit.h"
 #include "crypto/rng.h"
+#include "field/kernels.h"
 #include "poly/lagrange.h"
 #include "poly/ntt.h"
 #include "share/share.h"
@@ -287,6 +288,111 @@ SnipLocalState<F> snip_local_check(const VerificationContext<F>& ctx,
   }
   return st;
 }
+
+// ---------------------------------------------------------------------------
+// Batch verification engine
+// ---------------------------------------------------------------------------
+
+// Allocation-free round-1 engine: a SnipVerifier owns every scratch buffer
+// the local check needs (wires, f/g evaluation tables, mul-gate outputs
+// and left/right input rows, plus an extended-share landing buffer for the
+// decrypt/expand step), sized once from the circuit and reused for every
+// submission in a batch. The pipelines keep one SnipVerifier per worker
+// thread, so the steady-state per-submission cost is zero heap
+// allocations, and the three evaluate-at-r inner products run through the
+// lazy-reduction kernels (field/kernels.h).
+//
+// local_check computes bit-identical SnipLocalState to the reference
+// snip_local_check free function below (tests/test_kernels.cc holds the
+// regression), so routing a pipeline through the engine can never change
+// an accept/reject decision.
+template <PrimeField F>
+class SnipVerifier {
+ public:
+  explicit SnipVerifier(const Circuit<F>* circuit)
+      : layout_(SnipLayout::for_circuit_dims(circuit->num_inputs(),
+                                             circuit->num_mul_gates())),
+        ext_(layout_.total_len(), F::zero()),
+        wires_(circuit->num_wires(), F::zero()),
+        mul_outputs_(layout_.num_mul, F::zero()),
+        left_(layout_.num_mul, F::zero()),
+        right_(layout_.num_mul, F::zero()),
+        // Slots past 1 + num_mul are the zero padding of the f/g tables;
+        // local_check rewrites only the prefix, so they stay zero for the
+        // lifetime of the verifier.
+        f_evals_(layout_.n, F::zero()),
+        g_evals_(layout_.n, F::zero()) {}
+
+  const SnipLayout& layout() const { return layout_; }
+
+  // Landing buffer for this submission's extended-share vector: the
+  // decrypt/expand step writes straight into it (open_sealed_share_into),
+  // then local_check() with no span argument reads it back -- no
+  // intermediate vector between expansion and verification.
+  std::span<F> ext_buffer() { return ext_; }
+
+  SnipLocalState<F> local_check(const VerificationContext<F>& ctx,
+                                size_t server_index) {
+    return local_check(ctx, server_index, std::span<const F>(ext_));
+  }
+
+  SnipLocalState<F> local_check(const VerificationContext<F>& ctx,
+                                size_t server_index,
+                                std::span<const F> ext_share) {
+    const SnipLayout& lay = ctx.layout();
+    require(lay.total_len() == layout_.total_len() && lay.n == layout_.n,
+            "SnipVerifier: context/circuit mismatch");
+    require(ext_share.size() == lay.total_len(), "SnipVerifier: length");
+    const Circuit<F>& circuit = ctx.circuit();
+
+    std::span<const F> x = ext_share.subspan(0, lay.input_len);
+    std::span<const F> h = ext_share.subspan(lay.off_h(), lay.h_len);
+
+    // Shares of mul-gate outputs are h at even domain points (gate t sits
+    // at w_{2N}^{2(1+t)} = w_N^{1+t}).
+    for (size_t t = 0; t < lay.num_mul; ++t) mul_outputs_[t] = h[2 * (1 + t)];
+    circuit.eval_shares_into(x, mul_outputs_, /*first_server=*/server_index == 0,
+                             std::span<F>(wires_));
+
+    f_evals_[0] = ext_share[lay.off_f0()];
+    g_evals_[0] = ext_share[lay.off_g0()];
+    circuit.mul_gate_inputs_into(wires_, std::span<F>(left_),
+                                 std::span<F>(right_));
+    for (size_t t = 0; t < left_.size(); ++t) {
+      f_evals_[1 + t] = left_[t];
+      g_evals_[1 + t] = right_[t];
+    }
+
+    F f_r = kernels::inner_product<F>(ctx.row_n(), f_evals_);
+    F g_r = kernels::inner_product<F>(ctx.row_n(), g_evals_);
+    F h_r = kernels::inner_product<F>(ctx.row_2n(), h);
+
+    SnipLocalState<F> st;
+    st.a_share = ext_share[lay.off_a()];
+    st.b_share = ext_share[lay.off_b()];
+    st.c_share = ext_share[lay.off_c()];
+    st.d_share = f_r - st.a_share;
+    st.e_share = ctx.r() * g_r - st.b_share;
+    st.rh_share = ctx.r() * h_r;
+
+    st.out_combo = F::zero();
+    const std::vector<u32>& outs = circuit.outputs();
+    for (size_t j = 0; j < outs.size(); ++j) {
+      st.out_combo += ctx.out_coeffs()[j] * wires_[outs[j]];
+    }
+    return st;
+  }
+
+ private:
+  SnipLayout layout_;
+  std::vector<F> ext_;
+  std::vector<F> wires_;
+  std::vector<F> mul_outputs_;
+  std::vector<F> left_;
+  std::vector<F> right_;
+  std::vector<F> f_evals_;
+  std::vector<F> g_evals_;
+};
 
 // Round-2: each server computes its sigma share from the publicly summed
 // d and e (Beaver multiplication, Appendix C.2).

@@ -72,6 +72,44 @@ TEST(ChaCha20Test, DifferentSeedsDiverge) {
   EXPECT_NE(a.next_u64(), b.next_u64());
 }
 
+TEST(ChaCha20Test, FillBlocksMatchesFill) {
+  // The bulk path (multi-block SIMD core, direct writes) must produce the
+  // same byte stream as fill() for every request size, including ones
+  // around the 64-byte block and 256-byte bulk-group boundaries.
+  std::vector<u8> seed(32, 0x42);
+  for (size_t n : {1, 63, 64, 65, 255, 256, 257, 1024, 4096}) {
+    ChaChaPrg a(seed), b(seed);
+    std::vector<u8> ref(n), bulk(n);
+    a.fill(ref);
+    b.fill_blocks(bulk);
+    EXPECT_EQ(to_hex(ref), to_hex(bulk)) << "n=" << n;
+  }
+}
+
+TEST(ChaCha20Test, FillAndFillBlocksInterleave) {
+  // Both entry points share the stream position: any interleaving walks
+  // the same keystream.
+  std::vector<u8> seed(32, 0x17);
+  ChaChaPrg a(seed), b(seed);
+  std::vector<u8> ref(800);
+  a.fill(ref);
+  std::vector<u8> got;
+  std::vector<u8> chunk;
+  size_t sizes[] = {5, 300, 64, 7, 256, 100, 68};
+  bool use_bulk = false;
+  for (size_t n : sizes) {
+    chunk.assign(n, 0);
+    if (use_bulk) {
+      b.fill_blocks(chunk);
+    } else {
+      b.fill(chunk);
+    }
+    use_bulk = !use_bulk;
+    got.insert(got.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(to_hex(std::span<const u8>(ref.data(), got.size())), to_hex(got));
+}
+
 // ---------- Poly1305 ----------
 
 TEST(Poly1305Test, Rfc8439Vector) {

@@ -160,8 +160,8 @@ TEST(DeploymentTest, DoubleSubmissionUsesFreshSealingKeys) {
   // Regression: seal_for_server used an all-zero nonce under a key derived
   // only from (client_id, server), so a client submitting twice reused the
   // (key, nonce) pair -- XOR of the two ciphertexts leaked the XOR of the
-  // plaintexts. The fix binds a per-client submission counter into the
-  // HKDF label and the nonce.
+  // plaintexts. The fix: the per-client submission counter supplies the
+  // AEAD nonce, so honest repeat submissions never repeat a (key, nonce).
   afe::IntegerSum<F> afe(4);
   PrioDeployment<F, afe::IntegerSum<F>> dep(&afe, {.num_servers = 3});
   SecureRng rng(30);
@@ -180,7 +180,7 @@ TEST(DeploymentTest, DoubleSubmissionUsesFreshSealingKeys) {
   }
 
   // Grafting submission 2's counter onto submission 1's ciphertext must
-  // fail: the counter is bound into the key derivation, not just carried.
+  // fail: the counter is bound into the AEAD nonce, not just carried.
   auto grafted = blobs1;
   for (size_t j = 0; j < 3; ++j) {
     std::copy(blobs2[j].begin(), blobs2[j].begin() + 8, grafted[j].begin());

@@ -68,6 +68,37 @@ TYPED_TEST(ShareTest, SeedExpansionIsDeterministic) {
   EXPECT_TRUE(std::equal(c.begin(), c.end(), a.begin()));
 }
 
+TYPED_TEST(ShareTest, BulkExpansionMatchesScalarReference) {
+  using F = TypeParam;
+  // expand_share_seed_into consumes the keystream in the same windows as
+  // the scalar reference, so the elements must be bit-identical for every
+  // length (including ones that straddle chunk and block boundaries).
+  std::array<u8, 32> seed{};
+  seed[7] = 0xC3;
+  for (size_t len : {0, 1, 7, 8, 63, 64, 255, 256, 325, 511, 513, 1000}) {
+    auto ref = expand_share_seed<F>(seed, len);
+    std::vector<F> bulk(len, F::one());
+    expand_share_seed_into<F>(seed, std::span<F>(bulk));
+    EXPECT_EQ(bulk, ref) << "len=" << len;
+  }
+}
+
+TYPED_TEST(ShareTest, BulkExpansionReusesCallerBuffer) {
+  using F = TypeParam;
+  // A dirty reused buffer must not influence the output, and expanding a
+  // shorter vector into a prefix must match the scalar prefix property.
+  std::array<u8, 32> seed{};
+  seed[3] = 0x5A;
+  auto ref = expand_share_seed<F>(seed, 90);
+  std::vector<F> buf(90, F::from_u64(123456789));
+  expand_share_seed_into<F>(seed, std::span<F>(buf));
+  EXPECT_EQ(buf, ref);
+  expand_share_seed_into<F>(seed, std::span<F>(buf.data(), 40));
+  EXPECT_TRUE(std::equal(buf.begin(), buf.begin() + 40, ref.begin()));
+  // The tail keeps the previous (full-length) expansion.
+  EXPECT_TRUE(std::equal(buf.begin() + 40, buf.end(), ref.begin() + 40));
+}
+
 TYPED_TEST(ShareTest, RejectsDegenerateShareCounts) {
   using F = TypeParam;
   SecureRng rng(4);
