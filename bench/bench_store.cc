@@ -1,0 +1,151 @@
+// Durable store bench: WAL append throughput (submissions/second) per
+// fsync policy, plus snapshot publication latency -- the numbers an
+// operator needs to pick --fsync for a deployment (see README "Durability
+// & crash recovery"). Writes BENCH_store.json (or --out <path>) so CI
+// accumulates the trajectory next to BENCH_hotpath.json; --smoke shrinks
+// the workload for the CI leg.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "afe/bitvec_sum.h"
+#include "bench_util.h"
+#include "core/client.h"
+#include "crypto/rng.h"
+#include "net/wire.h"
+#include "store/recovery.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace prio {
+namespace {
+
+// Same shape as bench_hotpath's writer: flat key/value JSON, one file.
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first = true;
+
+  void kv(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    raw(key, buf);
+  }
+  void kv(const std::string& key, unsigned long long v) {
+    raw(key, std::to_string(v));
+  }
+  void kv(const std::string& key, const std::string& v) {
+    raw(key, "\"" + v + "\"");
+  }
+  void raw(const std::string& key, const std::string& v) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + key + "\": " + v;
+  }
+  std::string finish() { return out + "\n}\n"; }
+};
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/prio_bench_store_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+}  // namespace prio
+
+int main(int argc, char** argv) {
+  using namespace prio;
+  using F = Fp64;
+  using Afe = afe::BitVectorSum<F>;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_store.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const bool full = benchutil::full_mode();
+
+  // A representative sealed submission blob: one server's share of a
+  // 64-bit bit-vector upload (seq prefix + AEAD-sealed PRG seed), the
+  // dominant record the intake WAL carries.
+  const size_t kLen = 64;
+  Afe afe(kLen);
+  PrioClient<F, Afe> encoder(&afe, /*servers=*/3, /*master_seed=*/1);
+  SecureRng rng(42);
+  std::vector<u8> bits(kLen, 1);
+  auto blobs = encoder.upload(bits, /*client_id=*/7, rng);
+  const std::vector<u8>& blob = blobs[0];
+
+  const size_t kAppends = smoke ? 2'000 : (full ? 200'000 : 50'000);
+  std::printf("== bench_store: WAL append throughput ==\n");
+  std::printf("blob bytes: %zu, appends per policy: %zu%s\n\n", blob.size(),
+              kAppends, smoke ? "  [smoke]" : "");
+
+  JsonWriter json;
+  json.kv("bench", std::string("store"));
+  json.kv("blob_bytes", static_cast<unsigned long long>(blob.size()));
+  json.kv("appends", static_cast<unsigned long long>(kAppends));
+
+  for (store::FsyncPolicy policy :
+       {store::FsyncPolicy::kOff, store::FsyncPolicy::kEpoch,
+        store::FsyncPolicy::kAlways}) {
+    // fsync-per-append is orders of magnitude slower; trim its volume so
+    // the bench stays inside CI budgets while still measuring the policy.
+    const size_t n = policy == store::FsyncPolicy::kAlways
+                         ? std::min<size_t>(kAppends, smoke ? 200 : 2'000)
+                         : kAppends;
+    TempDir dir;
+    store::EpochStore est(dir.path, policy);
+    est.open_segment(0);
+    const double secs = benchutil::time_seconds(
+        [&] {
+          for (size_t i = 0; i < n; ++i) {
+            est.append_intake(/*client_id=*/i, /*seq=*/0, blob);
+          }
+          est.rotate(1, std::vector<u8>(64, 0));  // epoch-boundary sync
+        },
+        /*repeats=*/1);
+    const double rate = static_cast<double>(n) / secs;
+    std::printf("  fsync=%-7s %12.0f appends/s  (%zu appends in %.3fs)\n",
+                store::fsync_policy_name(policy), rate, n, secs);
+    json.kv(std::string("wal_appends_per_s_fsync_") +
+                store::fsync_policy_name(policy),
+            rate);
+  }
+
+  // Snapshot publication: the epoch-boundary write-temp-rename-manifest
+  // dance for a state blob the size a busy server might hold (accumulator
+  // + ~64k replay floors ~= 1 MiB).
+  {
+    TempDir dir;
+    store::SnapshotStore snaps(dir.path);
+    std::vector<u8> state(1 << 20, 0x5a);
+    const int reps = smoke ? 5 : 50;
+    const double secs = benchutil::time_seconds(
+        [&] {
+          for (int i = 0; i < reps; ++i) {
+            snaps.write(static_cast<u32>(i), state);
+          }
+        },
+        /*repeats=*/1);
+    const double ms = 1e3 * secs / reps;
+    std::printf("  snapshot publish (1 MiB): %.2f ms\n", ms);
+    json.kv("snapshot_publish_1mib_ms", ms);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f != nullptr) {
+    const std::string text = json.finish();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -175,19 +175,35 @@ TcpMeshTransport::TcpMeshTransport(size_t self,
                                    TcpListener* listener,
                                    std::span<const u8> mesh_secret,
                                    int setup_timeout_ms, int recv_timeout_ms)
-    : n_(addrs.size()), self_(self), recv_timeout_ms_(recv_timeout_ms),
+    : n_(addrs.size()), self_(self), addrs_(addrs), listener_(listener),
+      secret_(mesh_secret.begin(), mesh_secret.end()),
+      setup_timeout_ms_(setup_timeout_ms), recv_timeout_ms_(recv_timeout_ms),
       peers_(addrs.size()) {
   require(self < n_, "TcpMeshTransport: bad self id");
   require(listener != nullptr, "TcpMeshTransport: need a listener");
-  const auto deadline = Clock::now() + std::chrono::milliseconds(setup_timeout_ms);
+  establish(setup_timeout_ms_);
+}
+
+void TcpMeshTransport::reestablish() {
+  // Dropping the links first doubles as the abort broadcast: a peer still
+  // blocked in recv on one of them fails immediately and starts its own
+  // reestablish, so the mesh converges on the rendezvous below without
+  // waiting out any protocol timeout.
+  for (auto& conn : peers_) conn.reset();
+  establish(reestablish_timeout_ms_ > 0 ? reestablish_timeout_ms_
+                                        : setup_timeout_ms_);
+}
+
+void TcpMeshTransport::establish(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
 
   // Dial every lower-id peer, introducing ourselves with a sealed hello.
   for (size_t j = 0; j < self_; ++j) {
     auto conn = std::make_unique<FramedConn>(
-        connect_tcp(addrs[j].host, addrs[j].port, ms_left(deadline)));
+        connect_tcp(addrs_[j].host, addrs_[j].port, ms_left(deadline)));
     Writer hello;
     hello.u32_(static_cast<u32>(self_));
-    conn->send_frame(hello_channel(mesh_secret, self_, j).seal(hello.data()));
+    conn->send_frame(hello_channel(secret_, self_, j).seal(hello.data()));
     peers_[j] = std::move(conn);
   }
 
@@ -204,7 +220,7 @@ TcpMeshTransport::TcpMeshTransport(size_t self,
   size_t pending = n_ - 1 - self_;
   while (pending > 0) {
     if (ms_left(deadline) == 0) throw TransportError("mesh setup timed out");
-    if (auto sock = listener->accept_conn(200)) {
+    if (auto sock = listener_->accept_conn(200)) {
       waiting.push_back({std::make_unique<FramedConn>(std::move(*sock)),
                          Clock::now() + std::chrono::seconds(10)});
     }
@@ -221,7 +237,7 @@ TcpMeshTransport::TcpMeshTransport(size_t self,
         // unauthenticated dialer matches nothing and drops.
         for (size_t peer = self_ + 1; peer < n_; ++peer) {
           if (peers_[peer] != nullptr) continue;
-          auto pt = hello_channel(mesh_secret, peer, self_).open(*hello);
+          auto pt = hello_channel(secret_, peer, self_).open(*hello);
           if (!pt) continue;
           Reader r(*pt);
           u32 claimed = r.u32_();

@@ -210,13 +210,31 @@ class TcpMeshTransport final : public Transport {
   std::vector<u8> recv(size_t from) override;
   void end_round(u64 submissions) override;
 
+  // Crash recovery: closes every peer link (waking any peer still blocked
+  // on one) and re-runs the dial/accept rendezvous, waiting up to
+  // `reestablish_timeout_ms` (for a restarting peer to come back up; falls
+  // back to the construction-time setup timeout when <= 0). Throws
+  // TransportError if the mesh cannot be rebuilt in time; the old links
+  // are gone either way.
+  void reestablish() override;
+  void set_reestablish_timeout_ms(int ms) { reestablish_timeout_ms_ = ms; }
+
   u64 bytes_sent() const { return bytes_sent_; }
   u64 messages_sent() const { return messages_sent_; }
   u64 rounds() const { return rounds_; }
 
  private:
+  // Dials every lower-id peer and accepts every higher-id one (the shared
+  // deterministic rendezvous used by both construction and reestablish).
+  void establish(int timeout_ms);
+
   size_t n_ = 0;
   size_t self_ = 0;
+  std::vector<PeerAddr> addrs_;
+  TcpListener* listener_ = nullptr;
+  std::vector<u8> secret_;
+  int setup_timeout_ms_ = 30'000;
+  int reestablish_timeout_ms_ = 0;  // <= 0: use setup_timeout_ms_
   int recv_timeout_ms_ = 30'000;
   std::vector<std::unique_ptr<FramedConn>> peers_;  // indexed by node id
   u64 bytes_sent_ = 0;

@@ -56,6 +56,18 @@ class Transport {
   // Marks the end of a communication round covering `submissions` protocol
   // instances (accounting hook; see SimNetwork::end_round).
   virtual void end_round(u64 submissions) = 0;
+
+  // Tears down and re-establishes every peer link (crash recovery: a peer
+  // died and is restarting, so the survivors drop their broken links and
+  // rendezvous with the new process). Closing the links is itself the
+  // abort signal -- any peer still blocked on one of them fails its recv
+  // and enters its own reestablish. Transports without real connections
+  // (the in-process loopback mesh) cannot lose a peer process, so the
+  // default refuses and the caller's retry loop surfaces the original
+  // failure as before.
+  virtual void reestablish() {
+    throw TransportError("transport does not support reestablish");
+  }
 };
 
 // Shared state for s in-process nodes: one FIFO of frames per directed

@@ -22,11 +22,27 @@
 //
 // Epochs: process_batch accumulates; publish_epoch reveals the per-server
 // accumulators to server 0, which decodes and returns the aggregate, and
-// every node then rolls into the next epoch. snapshot()/restore_state()
-// serialize a node's full protocol state so a server can restart at a
-// batch boundary within an epoch and rejoin without desynchronizing.
+// every node then rolls into the next epoch. Publication is two-phase:
+// server 0 broadcasts a commit frame once it holds every accumulator, and
+// the other nodes reset their epoch state only after seeing it -- so an
+// aborted publication (a peer died mid-round) leaves every surviving node
+// in its pre-publish state and the round can simply be retried.
+//
+// Crash recovery: snapshot()/restore_state() serialize a node's full
+// protocol state (CRC-framed) so a server can restart at an epoch boundary;
+// apply_batch_record()/close_epoch_local() replay committed history --
+// from the WAL (store/recovery.h) or from a peer's rejoin catch-up record
+// (server/runtime.h) -- without touching the network. A batch attempt that
+// dies mid-round (net::TransportError) is rolled back to the exact
+// pre-batch state, including the deterministic r-refresh schedule, so the
+// mesh can re-run the same batch after the peer rejoins. All sealed
+// server-to-server traffic keys are scoped by a mesh generation number
+// (bumped on every rejoin sync) so a retried round never reuses a
+// (key, nonce) pair on different plaintext.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <optional>
 
 #include "core/submission.h"
@@ -34,6 +50,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "snip/snip.h"
+#include "store/wal.h"
 #include "util/thread_pool.h"
 
 namespace prio {
@@ -98,14 +115,44 @@ class ServerNode {
   u32 epoch() const { return epoch_; }
   u64 accepted() const { return accepted_; }
   u64 processed() const { return processed_; }
+  u64 batch_counter() const { return batch_counter_; }
+
+  // Mesh generation: every sealed channel key is scoped by it, and the
+  // runtime bumps it (identically on every node, negotiated in the rejoin
+  // sync round) each time the mesh is re-established, so retried rounds
+  // never reuse a (key, nonce) pair across attempts.
+  u64 generation() const { return gen_; }
+  void set_generation(u64 gen) { gen_ = gen; }
 
   // -------------------------------------------------------------------
   // Batched verification. All nodes must call this with the same ordered
   // batch (same client ids, each holding its own blob); the runtime's
   // leader announcement guarantees that. Returns one 0/1 verdict per
   // submission, identical on every node.
+  //
+  // If a peer fails mid-round (net::TransportError), the node is rolled
+  // back to its exact pre-batch state -- batch counter, r-refresh
+  // schedule and all -- and the error rethrown, so the runtime can
+  // re-establish the mesh and retry the same batch.
   // -------------------------------------------------------------------
   std::vector<u8> process_batch(std::span<const SubmissionShare> batch) {
+    const u64 counter_before = batch_counter_;
+    const u64 refreshes_before = refreshes_;
+    const size_t since_before = ctx_.submissions_since_refresh();
+    try {
+      return process_batch_attempt(batch);
+    } catch (const net::TransportError&) {
+      batch_counter_ = counter_before;
+      if (refreshes_ != refreshes_before) {
+        rebuild_context(refreshes_before);
+      }
+      ctx_.set_submissions_since_refresh(since_before);
+      throw;
+    }
+  }
+
+ private:
+  std::vector<u8> process_batch_attempt(std::span<const SubmissionShare> batch) {
     const size_t q = batch.size();
     std::vector<u8> verdicts(q, 0);
     if (q == 0) return verdicts;
@@ -294,13 +341,36 @@ class ServerNode {
     return verdicts;
   }
 
+  // Rebuilds the verification context by replaying its deterministic
+  // refresh schedule up to `refreshes` (rollback of an aborted batch that
+  // had already resampled r).
+  void rebuild_context(u64 refreshes) {
+    ctx_ = VerificationContext<F>(&afe_->valid_circuit(), cfg_.num_servers,
+                                  cfg_.master_seed ^ 0x5eed);
+    refreshes_ = 1;  // the context constructor performs the first refresh
+    while (refreshes_ < refreshes) {
+      ctx_.refresh();
+      ++refreshes_;
+    }
+  }
+
+ public:
   // -------------------------------------------------------------------
   // Epoch publication: every non-zero server reveals its accumulator to
-  // server 0, which decodes the aggregate. All nodes then reset their
-  // epoch state (accumulator + accepted count) and advance the epoch.
-  // Returns the aggregate on server 0, nullopt elsewhere.
+  // server 0, which -- once it holds all of them -- decodes the aggregate
+  // and broadcasts a commit frame. Every node resets its epoch state
+  // (accumulator + accepted count) and advances the epoch only at commit,
+  // so an aborted publication leaves all survivors retriable. Returns the
+  // aggregate on server 0, nullopt elsewhere.
+  //
+  // `durable_hook`, if set, runs at the commit point BEFORE any in-memory
+  // state is reset -- on server 0 with the decoded aggregate (before the
+  // commit broadcast, so the aggregate is durable before any peer can act
+  // on it), elsewhere with nullptr after the commit frame arrives. The
+  // runtime uses it to write the WAL epoch-close record.
   // -------------------------------------------------------------------
-  std::optional<EpochAggregate> publish_epoch() {
+  std::optional<EpochAggregate> publish_epoch(
+      const std::function<void(const EpochAggregate*)>& durable_hook = {}) {
     const size_t s = cfg_.num_servers;
     std::string tag = "pub";
     tag += std::to_string(epoch_);
@@ -323,14 +393,24 @@ class ServerNode {
         }
         for (size_t c = 0; c < acc.size(); ++c) agg.sigma[c] += acc[c];
       }
-      transport_->end_round(1);
       agg.result = afe_->decode(std::span<const F>(agg.sigma), agg.accepted);
+      if (durable_hook) durable_hook(&agg);
+      net::Writer cw;
+      cw.u32_(epoch_);
+      broadcast_sealed(tag, kCommit, cw.data(), 1);
+      transport_->end_round(1);
       out = std::move(agg);
     } else {
       net::Writer w;
       w.u64_(accepted_);
       w.field_vector<F>(std::span<const F>(accumulator_));
       send_sealed(0, tag, kPublish, w.data(), 1);
+      const auto body = recv_sealed(0, tag, kCommit);
+      net::Reader r(body);
+      if (r.u32_() != epoch_ || !r.ok() || !r.at_end()) {
+        throw net::TransportError("publish: malformed commit frame");
+      }
+      if (durable_hook) durable_hook(nullptr);
       transport_->end_round(1);
     }
     std::fill(accumulator_.begin(), accumulator_.end(), F::zero());
@@ -340,8 +420,89 @@ class ServerNode {
   }
 
   // -------------------------------------------------------------------
+  // Committed-history replay, shared by WAL recovery (store/recovery.h)
+  // and the rejoin catch-up path (server/runtime.h): applies one committed
+  // batch -- the announced batch in order, with the final verdicts every
+  // node agreed on -- without any network rounds. Reproduces exactly the
+  // state transitions process_batch would have made: batch counter, the
+  // deterministic r-refresh schedule, replay floors, accumulator, and the
+  // accepted/processed counts. Returns false (corrupt record) if an
+  // accepted blob fails to open.
+  // -------------------------------------------------------------------
+  bool apply_batch_record(std::span<const SubmissionShare> batch,
+                          std::span<const u8> verdicts) {
+    const size_t q = batch.size();
+    if (verdicts.size() != q || q == 0) return false;
+    const size_t kp = afe_->k_prime();
+    ensure_verifiers(1);
+    SnipVerifier<F>& ver = verifiers_[0];
+    // Validate first, commit second: every accepted blob must open before
+    // ANY state moves, so a corrupt record leaves the node untouched --
+    // the rejoin path may retry the same record after a resync, and a
+    // half-applied batch would double-count its accepted prefix.
+    std::vector<size_t> accepted_idx;
+    std::vector<u64> seqs;
+    std::vector<F> x_shares;
+    for (size_t v = 0; v < q; ++v) {
+      if (!verdicts[v]) continue;
+      u64 seq = 0;
+      if (!open_sealed_share_into<F>(sealer_, batch[v].client_id, cfg_.self,
+                                     batch[v].blob, ver.ext_buffer(), &seq)) {
+        return false;
+      }
+      accepted_idx.push_back(v);
+      seqs.push_back(seq);
+      x_shares.insert(x_shares.end(), ver.ext_buffer().begin(),
+                      ver.ext_buffer().begin() + kp);
+    }
+    ++batch_counter_;
+    if (ctx_.refresh_due(cfg_.refresh_every, q)) {
+      ctx_.refresh();
+      ++refreshes_;
+    }
+    ctx_.note_submissions(q);
+    for (size_t i = 0; i < accepted_idx.size(); ++i) {
+      replay_.accept(batch[accepted_idx[i]].client_id, seqs[i]);
+      kernels::vec_add_inplace<F>(
+          std::span<F>(accumulator_),
+          std::span<const F>(x_shares.data() + i * kp, kp));
+      ++accepted_;
+    }
+    processed_ += q;
+    return true;
+  }
+
+  // Applies an epoch close this node missed (it crashed, or aborted, after
+  // its peers committed the publication): reset the epoch state and
+  // advance, exactly like the tail of publish_epoch.
+  void close_epoch_local() {
+    std::fill(accumulator_.begin(), accumulator_.end(), F::zero());
+    accepted_ = 0;
+    ++epoch_;
+  }
+
+  // Seals/opens a rejoin control-frame body under this node's generation-
+  // scoped channel keys. The runtime's catch-up frames go through here:
+  // unlike the batch announcement (which only names ids -- the verdicts
+  // still come from the sealed SNIP rounds), a catch-up frame directly
+  // commits verdicts into the accumulator and replay floors, so it must
+  // be unforgeable by anyone without the mesh secret. Each (generation,
+  // tag, direction) seals at most one frame, so the zero-counter nonce
+  // never repeats.
+  std::vector<u8> seal_control(size_t to, const std::string& tag,
+                               std::span<const u8> body) const {
+    return make_channel(cfg_.self, to, tag, kControl).seal(body);
+  }
+  std::optional<std::vector<u8>> open_control(
+      size_t from, const std::string& tag, std::span<const u8> frame) const {
+    return make_channel(from, cfg_.self, tag, kControl).open(frame);
+  }
+
+  // -------------------------------------------------------------------
   // Restart support: the full protocol state a server must carry across a
-  // restart at a batch boundary. The verification context is rebuilt by
+  // restart at a batch boundary, framed with a trailing CRC-32 so a
+  // snapshot that rotted on disk (or was tampered with) is rejected as a
+  // whole instead of half-parsed. The verification context is rebuilt by
   // replaying its deterministic refresh schedule, so the restored node
   // holds the same secret r as its peers.
   // -------------------------------------------------------------------
@@ -354,35 +515,64 @@ class ServerNode {
     w.u64_(accepted_);
     w.u64_(processed_);
     w.field_vector<F>(std::span<const F>(accumulator_));
-    w.u32_(static_cast<u32>(replay_.floors().size()));
-    for (const auto& [cid, floor] : replay_.floors()) {
+    // Floors are serialized in sorted order so the encoding is canonical:
+    // two nodes holding the same floors -- however they got there (live
+    // run, WAL replay, snapshot restore) -- produce bit-identical
+    // snapshots, which recovery tests and operators can compare directly.
+    std::vector<std::pair<u64, u64>> floors(replay_.floors().begin(),
+                                            replay_.floors().end());
+    std::sort(floors.begin(), floors.end());
+    w.u32_(static_cast<u32>(floors.size()));
+    for (const auto& [cid, floor] : floors) {
       w.u64_(cid);
       w.u64_(floor);
     }
+    w.u32_(store::crc32(w.data()));
     return w.take();
   }
 
   // Restores a freshly constructed node (same config) from snapshot().
-  // Returns false on a malformed snapshot, leaving the node unusable.
+  // Returns false on a malformed snapshot, leaving the node untouched:
+  // snapshots now arrive from disk (or a peer), so every field is parsed
+  // and bounds-checked into locals -- under the CRC, which catches any
+  // bit flip outright -- before any member state is committed. The
+  // plausibility bounds double as a cap on the refresh-replay loop, so a
+  // hostile count cannot spin the restore.
   bool restore_state(std::span<const u8> snap) {
-    net::Reader r(snap);
-    epoch_ = r.u32_();
-    batch_counter_ = r.u64_();
+    if (snap.size() < 4) return false;
+    const size_t body_len = snap.size() - 4;
+    net::Reader crc_r(snap.subspan(body_len));
+    if (crc_r.u32_() != store::crc32(snap.first(body_len))) return false;
+    net::Reader r(snap.first(body_len));
+    const u32 epoch = r.u32_();
+    const u64 batch_counter = r.u64_();
     const u64 refreshes = r.u64_();
     const u64 since = r.u64_();
-    accepted_ = r.u64_();
-    processed_ = r.u64_();
+    const u64 accepted = r.u64_();
+    const u64 processed = r.u64_();
     auto acc = r.field_vector<F>(afe_->k_prime());
-    u32 floors = r.u32_();
-    if (!r.ok() || acc.size() != afe_->k_prime() || refreshes < 1) return false;
-    accumulator_ = std::move(acc);
-    for (u32 i = 0; i < floors; ++i) {
-      u64 cid = r.u64_();
-      u64 floor = r.u64_();
-      if (!r.ok()) return false;
-      replay_.set_floor(cid, floor);
+    const u32 floors = r.u32_();
+    if (!r.ok() || acc.size() != afe_->k_prime()) return false;
+    if (refreshes < 1 || refreshes > processed + 1 || since > processed ||
+        accepted > processed || batch_counter > processed) {
+      return false;  // impossible for any state a live node can reach
     }
-    if (!r.at_end()) return false;
+    if (r.remaining() != u64{floors} * 16) return false;
+    std::vector<std::pair<u64, u64>> floor_list;
+    floor_list.reserve(floors);
+    for (u32 i = 0; i < floors; ++i) {
+      const u64 cid = r.u64_();
+      const u64 floor = r.u64_();
+      floor_list.emplace_back(cid, floor);
+    }
+    if (!r.ok() || !r.at_end()) return false;
+
+    epoch_ = epoch;
+    batch_counter_ = batch_counter;
+    accepted_ = accepted;
+    processed_ = processed;
+    accumulator_ = std::move(acc);
+    for (const auto& [cid, floor] : floor_list) replay_.set_floor(cid, floor);
     while (refreshes_ < refreshes) {
       ctx_.refresh();
       ++refreshes_;
@@ -399,15 +589,23 @@ class ServerNode {
   static constexpr u8 kRound3 = 3;
   static constexpr u8 kRound4 = 4;
   static constexpr u8 kPublish = 5;
+  static constexpr u8 kCommit = 6;
+  static constexpr u8 kControl = 7;  // runtime rejoin catch-up frames
 
-  // Per-(batch|publish, round) channel keys: the tag and round type are
-  // bound into the sending endpoint's name, so every frame is sealed under
-  // its own key with a zero counter -- no (key, nonce) pair ever repeats,
-  // and a restarted server's channels line right back up with its peers.
+  // Per-(generation, batch|publish, round) channel keys: the mesh
+  // generation, the tag, and the round type are bound into the sending
+  // endpoint's name, so every frame is sealed under its own key with a
+  // zero counter -- no (key, nonce) pair ever repeats, a restarted
+  // server's channels line right back up with its peers, and a batch
+  // RETRIED after a rejoin (whose round payloads may legitimately differ,
+  // e.g. a straggler blob arrived between attempts) runs under fresh keys
+  // because the sync round bumped the generation.
   net::SecureChannel make_channel(size_t from, size_t to,
                                   const std::string& tag, u8 type) const {
     std::string from_ep = "s";
     from_ep += std::to_string(from);
+    from_ep += "/g";
+    from_ep += std::to_string(gen_);
     from_ep += '/';
     from_ep += tag;
     from_ep += '/';
@@ -478,6 +676,7 @@ class ServerNode {
   u64 accepted_ = 0;
   u64 processed_ = 0;
   u32 epoch_ = 0;
+  u64 gen_ = 0;  // mesh generation (see set_generation)
 };
 
 }  // namespace prio

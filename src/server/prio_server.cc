@@ -17,13 +17,24 @@
 // Every server must be started with the same --servers list, --master-seed,
 // --len, --epoch-size, --batch, and --epochs. Exit code 0 means all epochs
 // completed (and, on server 0, were published).
+//
+// Durability: with --data-dir DIR the server WAL-logs every accepted
+// intake blob and every committed batch, snapshots its protocol state at
+// epoch boundaries, and -- restarted with the same --data-dir after a
+// crash (even kill -9 mid-epoch) -- recovers, rejoins the mesh, and the
+// epoch completes with the same published aggregate as an uninterrupted
+// run. --fsync always|epoch|off picks the durability/throughput trade-off
+// (store/wal.h); --rejoin-timeout-ms bounds how long a surviving server
+// waits for a crashed peer to come back.
 
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "afe/bitvec_sum.h"
 #include "server/cli.h"
 #include "server/runtime.h"
+#include "store/recovery.h"
 
 using namespace prio;
 
@@ -53,6 +64,16 @@ int main(int argc, char** argv) {
     opts.announce_wait_ms =
         static_cast<int>(flags.num("announce-wait-ms", 60'000));
 
+    // Durable epoch store (optional): opened before the mesh so a corrupt
+    // directory fails fast, recovered after the node exists.
+    std::unique_ptr<store::EpochStore> epoch_store;
+    if (flags.has("data-dir")) {
+      const auto policy = store::parse_fsync_policy(flags.str("fsync", "epoch"));
+      require(policy.has_value(), "--fsync must be always, epoch, or off");
+      epoch_store = std::make_unique<store::EpochStore>(
+          flags.str("data-dir", ""), *policy);
+    }
+
     // Listen before dialing, so peers starting in any order can connect.
     // Binds all interfaces by default so the mesh can span hosts (the
     // --servers entries carry the routable addresses peers dial).
@@ -70,11 +91,39 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.num("mesh-timeout-ms", 30'000)),
         static_cast<int>(
             flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)));
+    // A crashed peer needs time to restart and redial before a surviving
+    // server gives up on re-establishing the mesh.
+    mesh.set_reestablish_timeout_ms(
+        static_cast<int>(flags.num("rejoin-timeout-ms", 120'000)));
     std::fprintf(stderr, "[server %zu] mesh up (%zu servers)\n", id,
                  mesh.num_nodes());
 
     ServerNode<F, Afe> node(&afe, cfg, &mesh);
-    server::ServerRuntime<F, Afe> runtime(&node, &mesh, &client_listener, opts);
+    server::ServerRuntime<F, Afe> runtime(&node, &mesh, &client_listener, opts,
+                                          epoch_store.get());
+    if (epoch_store) {
+      auto rec = store::recover_node<F, Afe>(&node, &afe, epoch_store.get(),
+                                             opts.max_buffered);
+      if (!rec.ok) {
+        std::fprintf(stderr, "prio_server: recovery failed: %s\n",
+                     rec.error.c_str());
+        return 1;
+      }
+      if (rec.used_snapshot || rec.batches_applied > 0 ||
+          rec.intake_records > 0) {
+        std::fprintf(stderr,
+                     "[server %zu] recovered from %s: epoch=%u processed=%llu "
+                     "accepted=%llu (%llu batches, %llu intake records, %u "
+                     "torn tails truncated)\n",
+                     id, flags.str("data-dir", "").c_str(), node.epoch(),
+                     static_cast<unsigned long long>(node.processed()),
+                     static_cast<unsigned long long>(node.accepted()),
+                     static_cast<unsigned long long>(rec.batches_applied),
+                     static_cast<unsigned long long>(rec.intake_records),
+                     rec.truncated_tails);
+      }
+      runtime.seed_recovered(std::move(rec));
+    }
     std::thread intake([&] { runtime.serve_clients(); });
 
     // The intake thread must be joined on every path out of the epoch loop;

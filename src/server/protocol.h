@@ -25,6 +25,35 @@
 //
 // It names which buffered submissions form the next batch and in what
 // order; it carries only submission identifiers, never share material.
+//
+// Rejoin / crash-recovery control frames. After the mesh is
+// (re)established -- at clean startup, and again whenever a peer failure
+// forced a reestablish -- every node exchanges its committed position and
+// the mesh agrees on a fresh generation number for the sealed-channel
+// keys; any node that is behind (it crashed, or aborted, after its peers
+// committed) is brought level by the lowest-id up-to-date node before the
+// protocol resumes:
+//
+//   kSyncHello:     u8 type, u32 epoch, u64 processed, u64 accepted,
+//                   u64 generation                     (every node -> every node)
+//   kCatchUpBatch:  u8 type, sealed{u32 count,
+//                   count * (u64 client_id, u64 seq),
+//                   bitmap verdicts}                   (frontier -> behind node)
+//   kCatchUpEpoch:  u8 type, sealed{u32 epoch}         (frontier -> behind node)
+//
+// kSyncHello is plaintext (same rationale as kBatchAnnounce: positions and
+// counters, never share material; a forged position can only desynchronize
+// the sync round, which fails loudly). The catch-up frames, by contrast,
+// commit verdicts directly into a node's accumulator and replay floors, so
+// their bodies are sealed under the just-negotiated generation's control
+// keys (ServerNode::seal_control) -- unforgeable without the mesh secret.
+//
+// A node can trail the frontier by at most one committed batch and one
+// epoch close (every batch and every publication needs frames from ALL
+// servers, so the mesh can never run ahead of a dead peer further than
+// the round it died in); the behind node re-applies the batch to its own
+// sealed blobs (ServerNode::apply_batch_record), so catch-up never moves
+// share material across the wire.
 #pragma once
 
 #include "util/common.h"
@@ -36,5 +65,8 @@ inline constexpr u8 kSubmitAck = 0x12;
 inline constexpr u8 kGetAggregate = 0x13;
 inline constexpr u8 kAggregate = 0x14;
 inline constexpr u8 kBatchAnnounce = 0x21;
+inline constexpr u8 kSyncHello = 0x31;
+inline constexpr u8 kCatchUpBatch = 0x32;
+inline constexpr u8 kCatchUpEpoch = 0x33;
 
 }  // namespace prio::server

@@ -1,5 +1,7 @@
-// Multi-process server runtime: client intake, batch coordination, and the
-// epoch loop around a ServerNode.
+// Multi-process server runtime: client intake, batch coordination, the
+// epoch loop around a ServerNode -- and, with a store attached, the
+// durability + crash-recovery layer that lets one server die (kill -9) and
+// rejoin the mesh mid-epoch.
 //
 // Each prio_server process runs one ServerRuntime. Client connections are
 // served by per-connection intake threads that buffer sealed blobs keyed by
@@ -17,9 +19,28 @@
 // epoch via ServerNode::publish_epoch with no extra coordination. Server 0
 // stores the published aggregate and serves it to clients that ask
 // (kGetAggregate blocks until the epoch closes).
+//
+// Durability (optional store::EpochStore, the --data-dir flag): every
+// accepted intake blob is WAL-logged before its ack, every committed batch
+// logs its ids + verdicts, every epoch close logs a close record, and the
+// epoch boundary snapshots the node and rotates the WAL segment
+// (store/wal.h, store/recovery.h). A restarted process replays all of it
+// back into an identical node before rejoining.
+//
+// Rejoin: any mesh failure (a peer died) aborts the current batch attempt
+// -- ServerNode rolls itself back -- and enters resync(): re-establish the
+// TCP mesh (the restarted peer joins the same rendezvous), exchange
+// kSyncHello positions, bump the channel-key generation, and let the
+// lowest-id up-to-date node catch any behind peer up (at most one batch +
+// one epoch close; see server/protocol.h). The leader then re-announces
+// the in-flight batch -- retained, with its assembled blobs, in
+// inflight_ids_/inflight_blobs_ until the batch commits -- and the epoch
+// continues to the same published aggregate as an uninterrupted run.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -28,6 +49,7 @@
 #include "net/tcp_transport.h"
 #include "server/node.h"
 #include "server/protocol.h"
+#include "store/recovery.h"
 
 namespace prio::server {
 
@@ -40,13 +62,16 @@ class ServerRuntime {
     u32 epochs = 1;
     int announce_wait_ms = 60'000;  // leader: deadline for a full batch
     int assemble_wait_ms = 5'000;   // followers: grace for in-flight blobs
+    // Mesh-disruption budget: how many reestablish+sync attempts a single
+    // failure may burn before the server gives up and exits.
+    int max_resyncs = 8;
     // Intake bound: submissions buffered but not yet consumed by a batch
     // are capped, so a flood of distinct (client, seq) pairs cannot
     // exhaust memory. Over the cap, the OLDEST un-announced submission is
-    // evicted to admit the new one. The sequencer moves announced blobs
-    // out of the evictable buffer at announcement time, so an announced
-    // batch slot is never wasted on a submission server 0 itself evicted;
-    // a follower that loses a blob to a flood still assembles it as an
+    // evicted to admit the new one. Announced blobs are moved out of the
+    // evictable buffer at announcement time, so an announced batch slot is
+    // never wasted on a submission the sequencer itself evicted; a
+    // follower that loses a blob to a flood still assembles it as an
     // empty (reject) share. A full-buffer nack would jam intake outright,
     // which is strictly worse.
     size_t max_buffered = 1 << 16;
@@ -59,11 +84,32 @@ class ServerRuntime {
     size_t max_connections = 256;
   };
 
+  // `store` may be null: the runtime then keeps all state in memory (no
+  // WAL, no snapshots) and a crashed server cannot recover -- exactly the
+  // pre-durability behavior.
   ServerRuntime(ServerNode<F, Afe>* node, net::Transport* mesh,
-                net::TcpListener* client_listener, Options opts)
-      : node_(node), mesh_(mesh), listener_(client_listener), opts_(opts) {}
+                net::TcpListener* client_listener, Options opts,
+                store::EpochStore* store = nullptr)
+      : node_(node), mesh_(mesh), listener_(client_listener), opts_(opts),
+        store_(store) {}
 
   ~ServerRuntime() { stop(); }
+
+  // Adopts what recovery rebuilt from the WAL: the unconsumed intake
+  // buffer, the published-epoch history (server 0), and the last committed
+  // batch (the catch-up record a behind peer may need). Call before
+  // serve_clients()/run_epochs(). The true arrival order of the recovered
+  // blobs is not representable in the WAL, so eviction order degrades to
+  // (client_id, seq) order for them -- it only governs overload shedding.
+  void seed_recovered(store::RecoveryResult<F, Afe>&& rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_ = std::move(rec.buffer);
+    intake_order_.clear();
+    for (const auto& [key, blob] : buffer_) intake_order_.push_back(key);
+    published_ = std::move(rec.published);
+    last_batch_ids_ = std::move(rec.last_batch_ids);
+    last_batch_verdicts_ = std::move(rec.last_batch_verdicts);
+  }
 
   // Serves client connections until stop(); call from a dedicated thread.
   // Transient accept failures (fd exhaustion, interrupted polls) cost one
@@ -101,29 +147,70 @@ class ServerRuntime {
     }
   }
 
-  // Runs the configured number of epochs; returns the last published
-  // aggregate on server 0 (nullopt elsewhere).
+  // Runs the configured number of epochs (resuming wherever recovery left
+  // the node); returns the last published aggregate on server 0 (nullopt
+  // elsewhere). A mesh disruption inside a batch or publication rolls the
+  // attempt back, resyncs the mesh, and retries; only a disruption that
+  // cannot be repaired within the resync budget escapes as TransportError.
   std::optional<typename ServerNode<F, Afe>::EpochAggregate> run_epochs() {
+    // Position/generation sync runs on every start: a fresh mesh agrees on
+    // generation 1, a rejoining mesh reconciles the restarted server.
+    try {
+      mesh_sync();
+    } catch (const net::TransportError& e) {
+      resync(e.what());
+    }
     std::optional<typename ServerNode<F, Afe>::EpochAggregate> last;
-    for (u32 e = 0; e < opts_.epochs; ++e) {
-      size_t done = 0;
-      while (done < opts_.epoch_size) {
-        const size_t want = std::min(opts_.max_batch, opts_.epoch_size - done);
-        std::vector<std::pair<u64, u64>> ids =
-            node_->self() == 0 ? announce_batch(want) : receive_announcement();
-        auto shares = assemble(ids);
-        node_->process_batch(shares);
-        done += ids.size();
-      }
-      auto agg = node_->publish_epoch();
-      if (agg) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          published_[agg->epoch] = *agg;
+    while (node_->epoch() < opts_.epochs) {
+      const u32 closing = node_->epoch();
+      const u64 target = u64{closing + 1} * opts_.epoch_size;
+      while (node_->processed() < target) {
+        std::vector<std::pair<u64, u64>> ids;
+        std::vector<SubmissionShare> shares;
+        try {
+          const size_t want = static_cast<size_t>(
+              std::min<u64>(opts_.max_batch, target - node_->processed()));
+          ids = node_->self() == 0 ? announce_batch(want)
+                                   : receive_announcement();
+          shares = assemble(ids);
+          auto verdicts = node_->process_batch(shares);
+          commit_batch(ids, verdicts);
+        } catch (const net::TransportError& e) {
+          // The blobs were moved into `shares` for the aborted attempt;
+          // put them back so the retry (or a catch-up) can re-use them.
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (size_t v = 0; v < shares.size(); ++v) {
+              if (!shares[v].blob.empty()) {
+                inflight_blobs_[ids[v]] = std::move(shares[v].blob);
+              }
+            }
+          }
+          resync(e.what());  // may catch this node up past the batch
         }
-        cv_.notify_all();
-        last = std::move(agg);
       }
+      // The epoch may already have closed during a resync (this node was
+      // caught up past it); otherwise publish, retrying across
+      // disruptions -- the commit round keeps an aborted publication
+      // side-effect-free on every survivor.
+      while (node_->epoch() == closing) {
+        try {
+          node_->publish_epoch(
+              [&](const typename ServerNode<F, Afe>::EpochAggregate* agg) {
+                durable_epoch_close(agg);
+              });
+        } catch (const net::TransportError& e) {
+          resync(e.what());
+        }
+      }
+      if (node_->self() == 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = published_.find(closing);
+        if (it != published_.end()) last = it->second;
+      }
+      // Epoch boundary: snapshot + segment rotation (idempotent; the
+      // catch-up path may already have rotated for this boundary).
+      rotate_store();
     }
     return last;
   }
@@ -184,14 +271,24 @@ class ServerRuntime {
           if (ok) {
             net::Reader seq_r(blob);
             const u64 seq = seq_r.u64_();
-            std::lock_guard<std::mutex> lock(mu_);
-            if (buffer_.size() >= opts_.max_buffered) evict_oldest_locked();
-            auto [it, inserted] =
-                buffer_.try_emplace({cid, seq}, std::move(blob));
-            // intake_order_ is the single insertion-order record: it
-            // drives eviction on every server AND batch sequencing on
-            // server 0 (announce_batch pops its oldest live keys).
-            if (inserted) intake_order_.push_back({cid, seq});
+            // WAL before ack: once the client hears "accepted", the blob
+            // survives this process. A re-delivered (cid, seq) may log a
+            // duplicate record; recovery keeps the first, like the buffer.
+            // If the segment's intake budget is exhausted (a flood the
+            // in-memory buffer would shed by eviction), the submission is
+            // nacked rather than acked without durability.
+            if (store_ && !store_->append_intake(cid, seq, blob)) {
+              ok = false;
+            } else {
+              std::lock_guard<std::mutex> lock(mu_);
+              if (buffer_.size() >= opts_.max_buffered) evict_oldest_locked();
+              auto [it, inserted] =
+                  buffer_.try_emplace({cid, seq}, std::move(blob));
+              // intake_order_ is the single insertion-order record: it
+              // drives eviction on every server AND batch sequencing on
+              // server 0 (announce_batch pops its oldest live keys).
+              if (inserted) intake_order_.push_back({cid, seq});
+            }
           }
           cv_.notify_all();
           net::Writer ack;
@@ -218,6 +315,12 @@ class ServerRuntime {
       }
     } catch (const net::TransportError&) {
       // A misbehaving or vanished client only costs its own connection.
+    } catch (const std::exception& e) {
+      // A WAL append failure (disk full, directory vanished) must not
+      // std::terminate the server from an intake thread; the submission
+      // goes un-acked and the client retries elsewhere.
+      std::fprintf(stderr, "[server %zu] intake error: %s\n", node_->self(),
+                   e.what());
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -258,33 +361,47 @@ class ServerRuntime {
 
   // Server 0: waits until `want` still-buffered submissions have arrived,
   // then broadcasts their identifiers in arrival order. The announced
-  // blobs are moved out of the intake buffer into pending_ under the same
-  // lock, so an announced submission can never be evicted afterwards --
-  // every announced batch slot is backed by a real blob on the sequencer
-  // (followers may still lack one, which assembles as an empty blob and
-  // votes reject, as before).
+  // blobs are moved out of the intake buffer into inflight_blobs_ under
+  // the same lock, so an announced submission can never be evicted
+  // afterwards -- every announced batch slot is backed by a real blob on
+  // the sequencer (followers may still lack one, which assembles as an
+  // empty blob and votes reject, as before). If a previous attempt at a
+  // batch aborted (mesh disruption), the SAME ids are re-announced, so a
+  // rejoined mesh re-runs the identical batch.
   std::vector<std::pair<u64, u64>> announce_batch(size_t want) {
     std::vector<std::pair<u64, u64>> ids;
-    ids.reserve(want);
     {
       std::unique_lock<std::mutex> lock(mu_);
-      // buffer_ holds exactly the live un-announced submissions, so its
-      // size (unlike a separate arrival log's) never counts evicted or
-      // already-consumed entries.
-      if (!cv_.wait_for(lock, std::chrono::milliseconds(opts_.announce_wait_ms),
-                        [&] { return buffer_.size() >= want; })) {
-        throw net::TransportError("leader: batch never filled");
-      }
-      while (ids.size() < want) {
-        // Every live buffered key appears in intake_order_ exactly once,
-        // so the deque cannot run dry before `want` live keys are found.
-        auto key = intake_order_.front();
-        intake_order_.pop_front();
-        auto it = buffer_.find(key);
-        if (it == buffer_.end()) continue;  // stale: consumed or evicted
-        pending_.emplace(key, std::move(it->second));
-        buffer_.erase(it);
-        ids.push_back(key);
+      if (!inflight_ids_.empty()) {
+        ids = inflight_ids_;
+      } else {
+        ids.reserve(want);
+        // buffer_ holds exactly the live un-announced submissions, so its
+        // size (unlike a separate arrival log's) never counts evicted or
+        // already-consumed entries.
+        if (!cv_.wait_for(lock,
+                          std::chrono::milliseconds(opts_.announce_wait_ms),
+                          [&] { return buffer_.size() >= want; })) {
+          // Deliberately NOT a TransportError: the mesh is healthy, the
+          // deployment just lacks client traffic. A TransportError here
+          // would make run_epochs tear down and rebuild the mesh forever;
+          // this propagates as the fatal exit it was before rejoin existed
+          // (the followers then fail their resync budget and exit too).
+          throw std::runtime_error(
+              "leader: batch never filled (insufficient client traffic)");
+        }
+        while (ids.size() < want) {
+          // Every live buffered key appears in intake_order_ exactly once,
+          // so the deque cannot run dry before `want` live keys are found.
+          auto key = intake_order_.front();
+          intake_order_.pop_front();
+          auto it = buffer_.find(key);
+          if (it == buffer_.end()) continue;  // stale: consumed or evicted
+          inflight_blobs_.emplace(key, std::move(it->second));
+          buffer_.erase(it);
+          ids.push_back(key);
+        }
+        inflight_ids_ = ids;
       }
     }
     net::Writer w;
@@ -323,30 +440,36 @@ class ServerRuntime {
     return ids;
   }
 
-  // Pulls the announced blobs out of pending_ (sequencer: moved there at
-  // announcement) or the buffer (followers), giving stragglers a grace
-  // period; a blob that never arrives becomes an empty (reject) share.
+  // Builds the node's view of the announced batch. Blobs come from
+  // inflight_blobs_ (this batch was attempted before, or we are the
+  // sequencer) or the intake buffer, with a grace period for stragglers;
+  // a blob that never arrives becomes an empty (reject) share. Announced
+  // blobs stay in inflight_blobs_ until the batch commits, so an aborted
+  // attempt can be retried -- and a late straggler can still be picked up
+  // by the retry, which is safe because every attempt runs under a fresh
+  // channel-key generation.
   std::vector<SubmissionShare> assemble(
       const std::vector<std::pair<u64, u64>>& ids) {
     std::vector<SubmissionShare> shares(ids.size());
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(opts_.assemble_wait_ms);
     std::unique_lock<std::mutex> lock(mu_);
+    inflight_ids_ = ids;
     for (size_t v = 0; v < ids.size(); ++v) {
       shares[v].client_id = ids[v].first;
-      auto pit = pending_.find(ids[v]);
-      if (pit != pending_.end()) {
-        shares[v].blob = std::move(pit->second);
-        pending_.erase(pit);
-        continue;
-      }
-      cv_.wait_until(lock, deadline,
-                     [&] { return buffer_.count(ids[v]) > 0; });
-      auto it = buffer_.find(ids[v]);
-      if (it != buffer_.end()) {
-        shares[v].blob = std::move(it->second);
+      auto pit = inflight_blobs_.find(ids[v]);
+      if (pit == inflight_blobs_.end()) {
+        cv_.wait_until(lock, deadline,
+                       [&] { return buffer_.count(ids[v]) > 0; });
+        auto it = buffer_.find(ids[v]);
+        if (it == buffer_.end()) continue;  // empty share: votes reject
+        pit = inflight_blobs_.emplace(ids[v], std::move(it->second)).first;
         buffer_.erase(it);
       }
+      // Moved, not copied -- the steady-state path stays allocation-free.
+      // An aborted attempt moves the blobs back (run_epochs' catch); a
+      // committed one clears the whole in-flight hold anyway.
+      shares[v].blob = std::move(pit->second);
     }
     // Trim the consumed prefix of the eviction queue so it tracks the
     // buffer's size instead of total submissions ever seen.
@@ -357,10 +480,293 @@ class ServerRuntime {
     return shares;
   }
 
+  // A batch the whole mesh committed: make it durable, remember it as the
+  // catch-up record a behind peer may ask for, release the in-flight hold.
+  void commit_batch(const std::vector<std::pair<u64, u64>>& ids,
+                    const std::vector<u8>& verdicts) {
+    if (store_) {
+      store_->append_batch(std::span<const std::pair<u64, u64>>(ids),
+                           std::span<const u8>(verdicts));
+    }
+    last_batch_ids_ = ids;
+    last_batch_verdicts_ = verdicts;
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ids_.clear();
+    inflight_blobs_.clear();
+  }
+
+  // Commit-point hook for ServerNode::publish_epoch: the WAL epoch-close
+  // record is written BEFORE any in-memory reset, and on server 0 before
+  // the commit broadcast -- so no peer can advance past an epoch whose
+  // aggregate this process could still lose.
+  void durable_epoch_close(
+      const typename ServerNode<F, Afe>::EpochAggregate* agg) {
+    if (agg != nullptr) {  // server 0: the decoded aggregate itself
+      if (store_) {
+        net::Writer sig;
+        sig.field_vector<F>(std::span<const F>(agg->sigma));
+        store_->append_epoch_close(agg->epoch, agg->accepted, sig.data());
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        published_[agg->epoch] = *agg;
+      }
+      cv_.notify_all();
+    } else if (store_) {
+      store_->append_epoch_close(node_->epoch(), node_->accepted(), {});
+    }
+  }
+
+  // ---- rejoin ----------------------------------------------------------
+
+  // Position + generation sync after every mesh (re)establishment; see
+  // server/protocol.h for the frame layouts and the at-most-one-step
+  // catch-up argument.
+  void mesh_sync() {
+    const size_t n = mesh_->num_nodes();
+    const size_t me = node_->self();
+    struct Pos {
+      u64 epoch = 0;
+      u64 processed = 0;
+      u64 accepted = 0;
+      u64 gen = 0;
+    };
+    std::vector<Pos> pos(n);
+    pos[me] = {node_->epoch(), node_->processed(), node_->accepted(),
+               node_->generation()};
+    net::Writer w;
+    w.u8_(kSyncHello);
+    w.u32_(static_cast<u32>(pos[me].epoch));
+    w.u64_(pos[me].processed);
+    w.u64_(pos[me].accepted);
+    w.u64_(pos[me].gen);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != me) mesh_->send(j, w.data(), 1);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (j == me) continue;
+      const auto frame = mesh_->recv(j);
+      net::Reader r(frame);
+      if (r.u8_() != kSyncHello) {
+        throw net::TransportError("rejoin: expected sync hello");
+      }
+      pos[j].epoch = r.u32_();
+      pos[j].processed = r.u64_();
+      pos[j].accepted = r.u64_();
+      pos[j].gen = r.u64_();
+      if (!r.ok() || !r.at_end()) {
+        throw net::TransportError("rejoin: malformed sync hello");
+      }
+    }
+    // Fresh channel-key generation, strictly above anything any node has
+    // used -- every node computes the same maximum from the same hellos.
+    u64 gen = 0;
+    for (const auto& p : pos) gen = std::max(gen, p.gen);
+    node_->set_generation(gen + 1);
+
+    // Two nodes at the same committed position must agree on how many
+    // submissions that position accepted; anything else is divergent
+    // replicated state that catch-up cannot repair (split brain), caught
+    // here the way publish_epoch catches it at epoch close.
+    for (size_t j = 0; j < n; ++j) {
+      if (j != me && pos[j].epoch == pos[me].epoch &&
+          pos[j].processed == pos[me].processed &&
+          pos[j].accepted != pos[me].accepted) {
+        throw net::TransportError("rejoin: accepted-count divergence");
+      }
+    }
+
+    // The frontier is the furthest committed position; its lowest-id
+    // holder catches everyone else up.
+    auto key = [](const Pos& p) { return std::pair<u64, u64>(p.epoch, p.processed); };
+    size_t helper = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (key(pos[j]) > key(pos[helper])) helper = j;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (key(pos[j]) == key(pos[helper])) {
+        helper = j;
+        break;
+      }
+    }
+    const auto frontier = key(pos[helper]);
+    if (key(pos[me]) == frontier) {
+      if (me == helper) {
+        for (size_t j = 0; j < n; ++j) {
+          if (j != me && key(pos[j]) != frontier) send_catch_up(j, pos[j]);
+        }
+      }
+    } else {
+      while (std::pair<u64, u64>(node_->epoch(), node_->processed()) !=
+             frontier) {
+        apply_catch_up(helper, mesh_->recv(helper));
+      }
+    }
+    mesh_->end_round(1);
+  }
+
+  // Catch-up frames are sealed under the just-negotiated generation's
+  // control keys (ServerNode::seal_control): unlike the id-only batch
+  // announcement they commit verdicts directly into a node's accumulator
+  // and replay floors, so they must be unforgeable without the mesh
+  // secret. The type byte stays in the clear to pick the opening key.
+  template <typename Pos>
+  void send_catch_up(size_t to, const Pos& peer) {
+    if (peer.processed < node_->processed()) {
+      if (last_batch_ids_.empty() ||
+          peer.processed + last_batch_ids_.size() != node_->processed()) {
+        // The protocol bounds the gap at one batch (no batch completes
+        // without every server); a wider gap means the peer lost durable
+        // state and needs operator attention, not silent divergence.
+        throw net::TransportError("rejoin: peer too far behind to catch up");
+      }
+      net::Writer w;
+      w.u32_(static_cast<u32>(last_batch_ids_.size()));
+      for (const auto& [cid, seq] : last_batch_ids_) {
+        w.u64_(cid);
+        w.u64_(seq);
+      }
+      w.bitmap(last_batch_verdicts_);
+      net::Writer f;
+      f.u8_(kCatchUpBatch);
+      f.raw(node_->seal_control(to, "cub", w.data()));
+      mesh_->send(to, f.data(), 1);
+    }
+    if (peer.epoch < node_->epoch()) {
+      if (peer.epoch + 1 != node_->epoch()) {
+        throw net::TransportError("rejoin: peer too many epochs behind");
+      }
+      net::Writer w;
+      w.u32_(static_cast<u32>(peer.epoch));
+      net::Writer f;
+      f.u8_(kCatchUpEpoch);
+      f.raw(node_->seal_control(to, "cue", w.data()));
+      mesh_->send(to, f.data(), 1);
+    }
+  }
+
+  void apply_catch_up(size_t from, const std::vector<u8>& frame) {
+    if (frame.empty()) {
+      throw net::TransportError("rejoin: empty catch-up frame");
+    }
+    const u8 type = frame[0];
+    auto body = node_->open_control(
+        from, type == kCatchUpBatch ? "cub" : "cue",
+        std::span<const u8>(frame.data() + 1, frame.size() - 1));
+    if (!body) {
+      throw net::TransportError("rejoin: catch-up frame failed to open");
+    }
+    net::Reader r(*body);
+    if (type == kCatchUpBatch) {
+      const u32 count = r.u32_();
+      if (!r.ok() || count == 0 || count > (1u << 20)) {
+        throw net::TransportError("rejoin: malformed catch-up batch");
+      }
+      std::vector<std::pair<u64, u64>> ids;
+      ids.reserve(count);
+      for (u32 i = 0; i < count; ++i) {
+        const u64 cid = r.u64_();
+        const u64 seq = r.u64_();
+        ids.push_back({cid, seq});
+      }
+      auto verdicts = r.bitmap(count);
+      if (!r.ok() || !r.at_end() || verdicts.size() != count) {
+        throw net::TransportError("rejoin: malformed catch-up batch");
+      }
+      // The batch runs against this node's OWN blobs -- catch-up carries
+      // identifiers and verdicts, never share material. An accepted
+      // submission parsed on every server, so our copy must exist.
+      std::vector<SubmissionShare> shares(count);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (u32 i = 0; i < count; ++i) {
+          shares[i].client_id = ids[i].first;
+          auto pit = inflight_blobs_.find(ids[i]);
+          if (pit != inflight_blobs_.end()) {
+            shares[i].blob = std::move(pit->second);
+            continue;
+          }
+          auto it = buffer_.find(ids[i]);
+          if (it != buffer_.end()) {
+            shares[i].blob = std::move(it->second);
+            buffer_.erase(it);
+          }
+        }
+      }
+      if (!node_->apply_batch_record(shares, verdicts)) {
+        throw net::TransportError("rejoin: catch-up batch failed to apply");
+      }
+      commit_batch(ids, std::vector<u8>(verdicts.begin(), verdicts.end()));
+    } else if (type == kCatchUpEpoch) {
+      const u32 epoch = r.u32_();
+      if (!r.ok() || !r.at_end() || epoch != node_->epoch()) {
+        throw net::TransportError("rejoin: malformed catch-up epoch");
+      }
+      if (node_->self() == 0) {
+        // Server 0 can only be one commit-broadcast behind, in which case
+        // its durable hook already ran and the aggregate is in published_;
+        // anything else means the epoch's aggregate is unrecoverable.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (published_.count(epoch) == 0) {
+          throw net::TransportError(
+              "rejoin: peers closed an epoch this server never published");
+        }
+      } else if (store_) {
+        store_->append_epoch_close(epoch, node_->accepted(), {});
+      }
+      node_->close_epoch_local();
+      rotate_store();
+    } else {
+      throw net::TransportError("rejoin: unexpected catch-up frame");
+    }
+  }
+
+  // Epoch-boundary rotation: the intake blobs this epoch acked but never
+  // consumed ride along into the new segment (their only durable copies
+  // live in the segments rotation prunes). The in-flight hold is empty
+  // here -- an epoch only closes after its last batch committed.
+  void rotate_store() {
+    if (!store_) return;
+    const std::vector<u8> snap = node_->snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<store::EpochStore::CarryOver> carry;
+    carry.reserve(buffer_.size());
+    for (const auto& [key, blob] : buffer_) {
+      carry.push_back({key.first, key.second, std::span<const u8>(blob)});
+    }
+    store_->rotate(node_->epoch(), snap,
+                   std::span<const store::EpochStore::CarryOver>(carry));
+  }
+
+  // Repairs a mesh disruption: drop + re-establish every link (waking any
+  // peer still blocked on one), then run the sync round. Retried within
+  // the budget because the repair itself can race another failure.
+  void resync(const std::string& reason) {
+    std::fprintf(stderr, "[server %zu] mesh disruption (%s); resyncing\n",
+                 node_->self(), reason.c_str());
+    for (int attempt = 1; ; ++attempt) {
+      try {
+        mesh_->reestablish();
+        mesh_sync();
+        std::fprintf(stderr, "[server %zu] mesh resynced (generation %llu)\n",
+                     node_->self(),
+                     static_cast<unsigned long long>(node_->generation()));
+        return;
+      } catch (const net::TransportError& e) {
+        if (attempt >= opts_.max_resyncs) {
+          throw net::TransportError(std::string("resync failed: ") + e.what());
+        }
+        std::fprintf(stderr, "[server %zu] resync attempt %d failed (%s)\n",
+                     node_->self(), attempt, e.what());
+      }
+    }
+  }
+
   ServerNode<F, Afe>* node_;
   net::Transport* mesh_;
   net::TcpListener* listener_;
   Options opts_;
+  store::EpochStore* store_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -388,10 +794,18 @@ class ServerRuntime {
   // sequencing (server 0: announce_batch pops the oldest live keys). May
   // briefly hold stale keys for consumed/evicted entries, skipped lazily.
   std::deque<std::pair<u64, u64>> intake_order_;
-  // Server 0 only: blobs already announced but not yet assembled. Moved
-  // out of buffer_ at announcement time so intake pressure can never
-  // evict a submission the mesh has been promised.
-  std::map<std::pair<u64, u64>, std::vector<u8>> pending_;
+  // The announced-but-uncommitted batch: its ids (in batch order) and the
+  // blobs backing them, held out of the evictable buffer until the batch
+  // commits so (a) intake pressure can never evict a submission the mesh
+  // was promised, and (b) an aborted attempt -- or a rejoin catch-up --
+  // can be re-run from the same blobs. Protocol-thread-owned ids; blobs
+  // shared with intake under mu_.
+  std::vector<std::pair<u64, u64>> inflight_ids_;
+  std::map<std::pair<u64, u64>, std::vector<u8>> inflight_blobs_;
+  // The last committed batch: the catch-up record a peer that missed the
+  // commit asks for at rejoin (protocol thread only).
+  std::vector<std::pair<u64, u64>> last_batch_ids_;
+  std::vector<u8> last_batch_verdicts_;
   std::map<u32, typename ServerNode<F, Afe>::EpochAggregate> published_;
 };
 

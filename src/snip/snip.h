@@ -187,6 +187,10 @@ class VerificationContext {
   // silently skips the boundary when a batch of Q crosses it.
   size_t submissions_since_refresh() const { return since_refresh_; }
   void note_submissions(size_t count) { since_refresh_ += count; }
+  // Restores the refresh-window position after an aborted batch attempt
+  // (server/node.h rolls a failed distributed batch back to its pre-batch
+  // state so the mesh can retry it after a peer restart).
+  void set_submissions_since_refresh(size_t count) { since_refresh_ = count; }
   bool refresh_due(size_t refresh_every, size_t upcoming = 1) const {
     return since_refresh_ + upcoming > refresh_every;
   }

@@ -1,0 +1,190 @@
+#include "store/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace prio::store {
+
+namespace {
+
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+void fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+u32 crc32(std::span<const u8> data, u32 seed) {
+  static const std::array<u32, 256> table = make_crc_table();
+  u32 c = seed ^ 0xffffffffu;
+  for (u8 b : data) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::optional<FsyncPolicy> parse_fsync_policy(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "epoch") return FsyncPolicy::kEpoch;
+  if (text == "off") return FsyncPolicy::kOff;
+  return std::nullopt;
+}
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kEpoch: return "epoch";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "?";
+}
+
+std::string wal_segment_name(u32 epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08x.log", epoch);
+  return buf;
+}
+
+std::string wal_segment_path(const std::string& dir, u32 epoch) {
+  return dir + "/" + wal_segment_name(epoch);
+}
+
+WalWriter::WalWriter(const std::string& dir, u32 epoch, FsyncPolicy policy)
+    : WalWriter(wal_segment_path(dir, epoch), policy) {
+  epoch_ = epoch;
+}
+
+WalWriter::WalWriter(const std::string& path, FsyncPolicy policy)
+    : path_(path), policy_(policy) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("WalWriter: cannot open " + path_ + " (errno=" +
+                             std::to_string(errno) + ")");
+  }
+}
+
+WalWriter::~WalWriter() { close_file(); }
+
+void WalWriter::close_file() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void WalWriter::append(u8 type, std::span<const u8> payload) {
+  require(file_ != nullptr, "WalWriter: append after close");
+  const size_t body_len = 1 + payload.size();
+  require(body_len <= kMaxWalRecordLen, "WalWriter: record too large");
+  std::vector<u8> rec;
+  rec.reserve(8 + body_len);
+  put_le32(rec, static_cast<u32>(body_len));
+  // CRC over the length prefix and the body: a flipped length byte fails
+  // the checksum instead of walking the reader into the next record.
+  u32 crc = crc32(std::span<const u8>(rec.data(), 4));
+  crc = crc32(std::span<const u8>(&type, 1), crc);
+  crc = crc32(payload, crc);
+  put_le32(rec, crc);
+  rec.push_back(type);
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size()) {
+    throw std::runtime_error("WalWriter: short write to " + path_);
+  }
+  if (policy_ == FsyncPolicy::kAlways) {
+    sync();
+  } else {
+    // Push the record out of stdio's buffer so kill -9 cannot lose it;
+    // only power loss can claim un-fsynced page-cache bytes.
+    std::fflush(file_);
+  }
+}
+
+void WalWriter::sync() {
+  require(file_ != nullptr, "WalWriter: sync after close");
+  std::fflush(file_);
+  if (policy_ != FsyncPolicy::kOff) ::fsync(::fileno(file_));
+}
+
+WalSegment read_segment(const std::string& path) {
+  WalSegment out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // missing segment: empty, untorn
+  std::vector<u8> bytes;
+  u8 buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (bytes.size() - pos >= 8) {
+    const u32 len = get_le32(bytes.data() + pos);
+    const u32 want_crc = get_le32(bytes.data() + pos + 4);
+    if (len == 0 || len > kMaxWalRecordLen || bytes.size() - pos - 8 < len) {
+      break;  // implausible length or record cut short: torn tail
+    }
+    u32 crc = crc32(std::span<const u8>(bytes.data() + pos, 4));
+    crc = crc32(std::span<const u8>(bytes.data() + pos + 8, len), crc);
+    if (crc != want_crc) break;  // bit rot or a torn rewrite
+    WalRecord rec;
+    rec.type = bytes[pos + 8];
+    rec.payload.assign(bytes.begin() + pos + 9, bytes.begin() + pos + 8 + len);
+    out.records.push_back(std::move(rec));
+    pos += 8 + size_t{len};
+  }
+  out.clean_bytes = pos;
+  out.torn_tail = pos != bytes.size();
+  return out;
+}
+
+bool truncate_segment(const std::string& path, size_t clean_bytes) {
+  return ::truncate(path.c_str(), static_cast<off_t>(clean_bytes)) == 0;
+}
+
+std::vector<u32> list_wal_epochs(const std::string& dir) {
+  std::vector<u32> epochs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return epochs;
+  while (dirent* e = ::readdir(d)) {
+    unsigned epoch = 0;
+    char tail = 0;
+    if (std::sscanf(e->d_name, "wal-%8x.lo%c", &epoch, &tail) == 2 &&
+        tail == 'g' && std::strlen(e->d_name) == wal_segment_name(epoch).size()) {
+      epochs.push_back(static_cast<u32>(epoch));
+    }
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+void prune_wal_segments(const std::string& dir, u32 keep_from_epoch) {
+  for (u32 epoch : list_wal_epochs(dir)) {
+    if (epoch < keep_from_epoch) {
+      ::unlink(wal_segment_path(dir, epoch).c_str());
+    }
+  }
+}
+
+}  // namespace prio::store

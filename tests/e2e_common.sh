@@ -1,0 +1,47 @@
+# Shared helpers for the TCP e2e scripts. Source this file.
+#
+# Port selection: each script draws its port base from its OWN disjoint
+# range (passed by the caller), so the two e2e tests can never collide with
+# each other when ctest runs them concurrently with -j; within the range,
+# every port the run will bind (peer ports base+0..n-1, client ports
+# base+100..100+n-1) is probed first, so collisions with unrelated services
+# are caught before a server ever fails to bind.
+
+# pick_port_base <range_start> <range_span> <num_servers>
+# Echoes a base port whose peer and client ports all probed free, or
+# returns 1 after several attempts.
+pick_port_base() {
+  local range_start=$1 range_span=$2 servers=$3
+  local attempt base i off p
+  for attempt in 1 2 3 4 5 6 7 8; do
+    base=$((range_start + RANDOM % range_span))
+    local busy=0
+    for ((i = 0; i < servers; ++i)); do
+      for off in "$i" "$((100 + i))"; do
+        p=$((base + off))
+        # A successful connect means something already listens there.
+        if (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+          exec 3>&- 3<&- 2>/dev/null
+          busy=1
+          break 2
+        fi
+      done
+    done
+    if [[ $busy -eq 0 ]]; then
+      echo "$base"
+      return 0
+    fi
+  done
+  return 1
+}
+
+# servers_list <base> <num_servers>
+# Echoes the --servers value for a localhost deployment at <base>.
+servers_list() {
+  local base=$1 servers=$2
+  local out="" i
+  for ((i = 0; i < servers; ++i)); do
+    out+="${out:+,}127.0.0.1:$((base + i)):$((base + 100 + i))"
+  done
+  echo "$out"
+}

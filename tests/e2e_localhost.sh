@@ -9,11 +9,17 @@ set -u
 
 SERVER_BIN=$1
 CLIENT_BIN=$2
+source "$(dirname "${BASH_SOURCE[0]}")/e2e_common.sh"
 
 LEN=12
 EPOCH_SIZE=40
 TAMPER=5          # every 5th client's ciphertext is flipped -> rejected
 MASTER_SEED=7
+
+# This script's port range: 21000-28999 (e2e_crash_recovery.sh uses
+# 31000-38999, so concurrent ctest runs of the two can never collide).
+PORT_RANGE_START=21000
+PORT_RANGE_SPAN=8000
 
 pids=()
 cleanup() {
@@ -26,7 +32,8 @@ trap cleanup EXIT
 
 run_attempt() {
   local base=$1
-  local servers="127.0.0.1:$((base)):$((base + 100)),127.0.0.1:$((base + 1)):$((base + 101)),127.0.0.1:$((base + 2)):$((base + 102))"
+  local servers
+  servers=$(servers_list "$base" 3)
   local common=(--servers "$servers" --len "$LEN" --master-seed "$MASTER_SEED")
 
   pids=()
@@ -56,8 +63,12 @@ run_attempt() {
   return "$rc"
 }
 
-# Ports can collide with other test runs; retry on a different base.
-for base in $((20000 + RANDOM % 20000)) $((20000 + RANDOM % 20000)); do
+# Probed ports can still race an unrelated service; retry on a new base.
+for attempt in 1 2; do
+  base=$(pick_port_base "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3) || {
+    echo "e2e_localhost: no free port base found" >&2
+    continue
+  }
   if run_attempt "$base"; then
     echo "e2e_localhost: PASS (port base $base)"
     exit 0
