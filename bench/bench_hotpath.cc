@@ -59,29 +59,6 @@ unsigned long long allocs_during(const std::function<void()>& fn) {
   return g_allocs.load(std::memory_order_relaxed) - before;
 }
 
-struct JsonWriter {
-  std::string out = "{\n";
-  bool first = true;
-
-  void kv(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3f", v);
-    raw(key, buf);
-  }
-  void kv(const std::string& key, unsigned long long v) {
-    raw(key, std::to_string(v));
-  }
-  void kv(const std::string& key, const std::string& v) {
-    raw(key, "\"" + v + "\"");
-  }
-  void raw(const std::string& key, const std::string& v) {
-    if (!first) out += ",\n";
-    first = false;
-    out += "  \"" + key + "\": " + v;
-  }
-  std::string finish() { return out + "\n}\n"; }
-};
-
 }  // namespace
 }  // namespace prio
 
@@ -110,7 +87,7 @@ int main(int argc, char** argv) {
               kServers, kLen, ext_len, kN, kBatch,
               std::thread::hardware_concurrency(), smoke ? "  [smoke]" : "");
 
-  JsonWriter json;
+  benchutil::JsonWriter json;
   json.kv("bench", std::string("hotpath"));
   json.kv("field", std::string("Fp64"));
   json.kv("servers", static_cast<unsigned long long>(kServers));

@@ -23,35 +23,16 @@
 namespace prio {
 namespace {
 
-// Same shape as bench_hotpath's writer: flat key/value JSON, one file.
-struct JsonWriter {
-  std::string out = "{\n";
-  bool first = true;
-
-  void kv(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3f", v);
-    raw(key, buf);
-  }
-  void kv(const std::string& key, unsigned long long v) {
-    raw(key, std::to_string(v));
-  }
-  void kv(const std::string& key, const std::string& v) {
-    raw(key, "\"" + v + "\"");
-  }
-  void raw(const std::string& key, const std::string& v) {
-    if (!first) out += ",\n";
-    first = false;
-    out += "  \"" + key + "\": " + v;
-  }
-  std::string finish() { return out + "\n}\n"; }
-};
-
 struct TempDir {
   std::string path;
   TempDir() {
     char tmpl[] = "/tmp/prio_bench_store_XXXXXX";
-    path = ::mkdtemp(tmpl);
+    char* got = ::mkdtemp(tmpl);
+    if (got == nullptr) {
+      std::fprintf(stderr, "bench_store: mkdtemp failed (is /tmp writable?)\n");
+      std::exit(1);
+    }
+    path = got;
   }
   ~TempDir() { std::filesystem::remove_all(path); }
 };
@@ -88,7 +69,7 @@ int main(int argc, char** argv) {
   std::printf("blob bytes: %zu, appends per policy: %zu%s\n\n", blob.size(),
               kAppends, smoke ? "  [smoke]" : "");
 
-  JsonWriter json;
+  benchutil::JsonWriter json;
   json.kv("bench", std::string("store"));
   json.kv("blob_bytes", static_cast<unsigned long long>(blob.size()));
   json.kv("appends", static_cast<unsigned long long>(kAppends));

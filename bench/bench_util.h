@@ -35,4 +35,29 @@ inline void header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+// Flat key/value JSON emitter for the BENCH_*.json CI artifacts. Shared so
+// the artifact format cannot drift between bench binaries.
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first = true;
+
+  void kv(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    raw(key, buf);
+  }
+  void kv(const std::string& key, unsigned long long v) {
+    raw(key, std::to_string(v));
+  }
+  void kv(const std::string& key, const std::string& v) {
+    raw(key, "\"" + v + "\"");
+  }
+  void raw(const std::string& key, const std::string& v) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + key + "\": " + v;
+  }
+  std::string finish() { return out + "\n}\n"; }
+};
+
 }  // namespace prio::benchutil

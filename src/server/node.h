@@ -120,7 +120,11 @@ class ServerNode {
   // Mesh generation: every sealed channel key is scoped by it, and the
   // runtime bumps it (identically on every node, negotiated in the rejoin
   // sync round) each time the mesh is re-established, so retried rounds
-  // never reuse a (key, nonce) pair across attempts.
+  // never reuse a (key, nonce) pair across attempts. A store-attached
+  // runtime makes every bump durable before the first frame sealed under
+  // it leaves the process (kWalGeneration record; snapshots carry it too),
+  // so even a full-mesh restart renegotiates strictly above every
+  // generation ever used.
   u64 generation() const { return gen_; }
   void set_generation(u64 gen) { gen_ = gen; }
 
@@ -514,6 +518,12 @@ class ServerNode {
     w.u64_(ctx_.submissions_since_refresh());
     w.u64_(accepted_);
     w.u64_(processed_);
+    // The mesh generation rides in the snapshot (and, for mid-epoch bumps,
+    // in kWalGeneration records): a full-mesh restart that forgot it would
+    // renegotiate a generation the interrupted run already used, and a
+    // retried batch would reseal different plaintext under the same
+    // (key, nonce).
+    w.u64_(gen_);
     w.field_vector<F>(std::span<const F>(accumulator_));
     // Floors are serialized in sorted order so the encoding is canonical:
     // two nodes holding the same floors -- however they got there (live
@@ -550,6 +560,7 @@ class ServerNode {
     const u64 since = r.u64_();
     const u64 accepted = r.u64_();
     const u64 processed = r.u64_();
+    const u64 gen = r.u64_();
     auto acc = r.field_vector<F>(afe_->k_prime());
     const u32 floors = r.u32_();
     if (!r.ok() || acc.size() != afe_->k_prime()) return false;
@@ -571,6 +582,7 @@ class ServerNode {
     batch_counter_ = batch_counter;
     accepted_ = accepted;
     processed_ = processed;
+    gen_ = gen;
     accumulator_ = std::move(acc);
     for (const auto& [cid, floor] : floor_list) replay_.set_floor(cid, floor);
     while (refreshes_ < refreshes) {

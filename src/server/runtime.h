@@ -277,17 +277,29 @@ class ServerRuntime {
             // If the segment's intake budget is exhausted (a flood the
             // in-memory buffer would shed by eviction), the submission is
             // nacked rather than acked without durability.
-            if (store_ && !store_->append_intake(cid, seq, blob)) {
-              ok = false;
-            } else {
+            //
+            // The runtime mutex spans BOTH the WAL append and the buffer
+            // insert (rotate_store holds it across the whole rotation, in
+            // the same mu_ -> store order): if rotation could slip between
+            // them, the blob would be logged into the closing epoch's
+            // segment yet miss the carry-over built from buffer_, and the
+            // prune would delete its only durable copy -- a later batch
+            // record accepting it would then brick every restart.
+            {
               std::lock_guard<std::mutex> lock(mu_);
-              if (buffer_.size() >= opts_.max_buffered) evict_oldest_locked();
-              auto [it, inserted] =
-                  buffer_.try_emplace({cid, seq}, std::move(blob));
-              // intake_order_ is the single insertion-order record: it
-              // drives eviction on every server AND batch sequencing on
-              // server 0 (announce_batch pops its oldest live keys).
-              if (inserted) intake_order_.push_back({cid, seq});
+              if (store_ && !store_->append_intake(cid, seq, blob)) {
+                ok = false;
+              } else {
+                if (buffer_.size() >= opts_.max_buffered) {
+                  evict_oldest_locked();
+                }
+                auto [it, inserted] =
+                    buffer_.try_emplace({cid, seq}, std::move(blob));
+                // intake_order_ is the single insertion-order record: it
+                // drives eviction on every server AND batch sequencing on
+                // server 0 (announce_batch pops its oldest live keys).
+                if (inserted) intake_order_.push_back({cid, seq});
+              }
             }
           }
           cv_.notify_all();
@@ -492,6 +504,17 @@ class ServerRuntime {
     last_batch_verdicts_ = verdicts;
     std::lock_guard<std::mutex> lock(mu_);
     inflight_ids_.clear();
+    for (const auto& key : ids) inflight_blobs_.erase(key);
+    // Anything left was stashed by a previously ABORTED announcement that
+    // this batch did not name (the sequencer restarted and announced a
+    // different id set). Those blobs were moved out of buffer_, so
+    // dropping them here would make a later announcement that names them
+    // assemble an empty share -- an acked, durable, valid submission
+    // deterministically rejected. Return them to the evictable buffer.
+    for (auto& [key, blob] : inflight_blobs_) {
+      auto [it, inserted] = buffer_.try_emplace(key, std::move(blob));
+      if (inserted) intake_order_.push_back(key);
+    }
     inflight_blobs_.clear();
   }
 
@@ -560,8 +583,15 @@ class ServerRuntime {
     }
     // Fresh channel-key generation, strictly above anything any node has
     // used -- every node computes the same maximum from the same hellos.
+    // WAL-logged (and synced) BEFORE the node seals anything under it:
+    // the hellos can only report generations that survive a restart, so
+    // if every server crashed at once the renegotiated max+1 must still
+    // clear every generation that ever reached the wire -- an unlogged
+    // bump would let the retried batch reseal different plaintext under
+    // the reused (key, nonce).
     u64 gen = 0;
     for (const auto& p : pos) gen = std::max(gen, p.gen);
+    if (store_) store_->append_generation(gen + 1);
     node_->set_generation(gen + 1);
 
     // Two nodes at the same committed position must agree on how many

@@ -18,6 +18,10 @@
 //          decoded aggregate's accumulator on server 0 (so a restarted
 //          server 0 can keep serving past epochs to clients) and empty on
 //          the other servers.
+//   kWalGeneration  u64 gen
+//       -- the mesh negotiated a new channel-key generation; logged (and
+//          synced) before the first frame sealed under it, so a full-mesh
+//          restart can never renegotiate a generation already used.
 //
 // recover_node() rebuilds a freshly constructed ServerNode from the newest
 // valid snapshot plus a replay of every WAL segment at or after it. A torn
@@ -30,6 +34,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -125,6 +130,25 @@ class EpochStore {
     append(kWalEpochClose, w.data());
   }
 
+  // Logs a mesh channel-key generation bump. Must be called BEFORE any
+  // frame is sealed under the new generation: recovery restores the max
+  // of the snapshot's generation and every logged bump, so a full-mesh
+  // restart (every node losing its in-memory generation at once) still
+  // negotiates max+1 strictly above anything ever put on the wire --
+  // without the record, a retried batch after a coordinated crash would
+  // reuse (key, nonce) pairs on different plaintext. Synced immediately:
+  // bumps are rare (one per mesh establishment) and the key-reuse guard
+  // must survive power loss even under the kEpoch policy, which only
+  // trades away durability of data (kOff stays best-effort, as documented).
+  void append_generation(u64 gen) {
+    net::Writer w;
+    w.u64_(gen);
+    std::lock_guard<std::mutex> lock(mu_);
+    require(wal_ != nullptr, "EpochStore: append before open_segment");
+    wal_->append(kWalGeneration, w.data());
+    require(wal_->sync(), "EpochStore: generation record failed to sync");
+  }
+
   // One acked-but-unconsumed intake blob carried across an epoch boundary
   // (see rotate()).
   struct CarryOver {
@@ -146,8 +170,8 @@ class EpochStore {
   void rotate(u32 new_epoch, std::span<const u8> node_snapshot,
               std::span<const CarryOver> carry_over = {}) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (wal_) wal_->sync();
-    if (agg_log_) agg_log_->sync();
+    bool synced = !wal_ || wal_->sync();
+    if (agg_log_) synced = agg_log_->sync() && synced;
     const bool snap_ok = snapshots_.write(new_epoch, node_snapshot);
     open_segment_locked(new_epoch);
     for (const CarryOver& c : carry_over) {
@@ -159,9 +183,13 @@ class EpochStore {
       wal_->append(kWalIntake, w.data());
     }
     // The carry-over must be durable (per policy) before the old segments
-    // holding the originals can go.
-    wal_->sync();
-    if (snap_ok) {
+    // holding the originals can go. Any failed sync (EIO and friends)
+    // blocks the prune the same way a failed snapshot write does: deleting
+    // the only copies that verifiably reached the disk, on the strength of
+    // replacements that may still be stuck in a failing page cache, is how
+    // a recoverable I/O hiccup becomes data loss at the next power cut.
+    synced = wal_->sync() && synced;
+    if (snap_ok && synced) {
       prune_wal_segments(dir_, new_epoch);
       snapshots_.prune(new_epoch);
     }
@@ -215,7 +243,9 @@ struct RecoveryResult {
 // Rebuilds `node` (freshly constructed, same config as the crashed
 // process) from `store`'s snapshot + WAL. Returns ok=false only on
 // semantic corruption (an accepted blob that no longer opens, a record
-// stream that contradicts itself); torn tails are truncated and absorbed.
+// stream that contradicts itself) or an I/O failure that would make the
+// repair unsound (a torn tail the disk refuses to truncate); torn tails
+// themselves are truncated and absorbed.
 // `max_buffer` caps the rebuilt intake buffer at the runtime's own bound
 // (the WAL may hold records for blobs the live run later evicted);
 // lowest (client, seq) keys -- the oldest per client -- are shed first,
@@ -235,14 +265,30 @@ RecoveryResult<F, Afe> recover_node(ServerNode<F, Afe>* node, const Afe* afe,
     out.used_snapshot = true;
   }
 
+  const u32 snap_epoch = out.used_snapshot ? node->epoch() : 0;
   for (u32 seg_epoch : list_wal_epochs(store->dir())) {
-    if (out.used_snapshot && seg_epoch < node->epoch()) continue;
+    // Segments below the snapshot epoch survive only when a crash
+    // interrupted rotate() between the snapshot publish and the carry-over
+    // sync (or the prune). Their batches and epoch closes are already
+    // inside the snapshot, but their intake records may hold the ONLY
+    // durable copy of acked-but-unconsumed blobs (the carry-over that
+    // would have re-logged them never happened), so they replay in
+    // buffer-only mode: intake records fill the buffer, batch records
+    // consume the blobs they named, and node state is never touched.
+    const bool buffer_only = out.used_snapshot && seg_epoch < snap_epoch;
     const std::string path = wal_segment_path(store->dir(), seg_epoch);
     WalSegment seg = read_segment(path);
     if (seg.torn_tail) {
       // Truncate at the first bad CRC so the next append continues a
-      // clean stream; replay proceeds with the clean prefix either way.
-      truncate_segment(path, seg.clean_bytes);
+      // clean stream. This must succeed before the server may run: an
+      // append after retained garbage sits past the first bad CRC, where
+      // no future replay can reach it -- every record written from then
+      // on would be silently lost at the next restart. (Corrupt *input*
+      // never fails recovery; a disk that refuses the repair does.)
+      if (!truncate_segment(path, seg.clean_bytes)) {
+        out.error = "cannot truncate torn tail of " + path;
+        return out;
+      }
       ++out.truncated_tails;
     }
     ++out.segments_replayed;
@@ -279,6 +325,17 @@ RecoveryResult<F, Afe> recover_node(ServerNode<F, Afe>* node, const Afe* afe,
           out.error = "malformed batch record";
           return out;
         }
+        if (buffer_only) {
+          // The snapshot already reflects this batch; just consume the
+          // blobs it named (a blob from an even older, pruned segment may
+          // legitimately be absent) and keep it as the catch-up record --
+          // a live node, too, remembers its last committed batch across a
+          // rotation.
+          for (const auto& id : ids) out.buffer.erase(id);
+          out.last_batch_ids = std::move(ids);
+          out.last_batch_verdicts.assign(verdicts.begin(), verdicts.end());
+          continue;
+        }
         // Reassemble this server's view of the batch from the intake
         // records, consuming the named blobs like the live assemble did.
         std::vector<SubmissionShare> shares(count);
@@ -308,6 +365,9 @@ RecoveryResult<F, Afe> recover_node(ServerNode<F, Afe>* node, const Afe* afe,
           out.error = "malformed epoch-close record";
           return out;
         }
+        if (buffer_only) {
+          continue;  // inside the snapshot; server 0's aggregate history
+        }            // is reloaded from aggregates.log below
         if (epoch + 1 == node->epoch()) {
           continue;  // duplicate from a retried publish; already applied
         }
@@ -332,6 +392,15 @@ RecoveryResult<F, Afe> recover_node(ServerNode<F, Afe>* node, const Afe* afe,
         }
         node->close_epoch_local();
         ++out.epochs_closed;
+      } else if (rec.type == kWalGeneration) {
+        const u64 gen = r.u64_();
+        if (!r.ok() || !r.at_end()) {
+          out.error = "malformed generation record";
+          return out;
+        }
+        // Max, not last: the snapshot's generation may already be ahead of
+        // an old segment's records, and bumps themselves only ever grow.
+        node->set_generation(std::max(node->generation(), gen));
       } else {
         out.error = "unknown WAL record type";
         return out;
@@ -348,7 +417,10 @@ RecoveryResult<F, Afe> recover_node(ServerNode<F, Afe>* node, const Afe* afe,
     const std::string agg_path = EpochStore::aggregates_path(store->dir());
     WalSegment agg_log = read_segment(agg_path);
     if (agg_log.torn_tail) {
-      truncate_segment(agg_path, agg_log.clean_bytes);
+      if (!truncate_segment(agg_path, agg_log.clean_bytes)) {
+        out.error = "cannot truncate torn tail of " + agg_path;
+        return out;
+      }
       ++out.truncated_tails;
     }
     for (const WalRecord& rec : agg_log.records) {

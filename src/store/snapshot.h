@@ -153,11 +153,14 @@ class SnapshotStore {
     const std::string tmp = final_path + ".tmp";
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) return false;
-    const bool wrote =
+    bool wrote =
         bytes.empty() ||
         std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    std::fflush(f);
-    if (wrote && fsync_) ::fsync(::fileno(f));
+    wrote = (std::fflush(f) == 0) && wrote;
+    // A failed fsync fails the publish: the caller prunes what this
+    // snapshot supersedes on a `true` return, and bytes stuck in a failing
+    // page cache are not a copy it may prune against.
+    if (wrote && fsync_) wrote = ::fsync(::fileno(f)) == 0;
     std::fclose(f);
     if (!wrote || ::rename(tmp.c_str(), final_path.c_str()) != 0) {
       ::unlink(tmp.c_str());

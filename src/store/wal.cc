@@ -111,7 +111,9 @@ void WalWriter::append(u8 type, std::span<const u8> payload) {
     throw std::runtime_error("WalWriter: short write to " + path_);
   }
   if (policy_ == FsyncPolicy::kAlways) {
-    sync();
+    if (!sync()) {
+      throw std::runtime_error("WalWriter: fsync failed on " + path_);
+    }
   } else {
     // Push the record out of stdio's buffer so kill -9 cannot lose it;
     // only power loss can claim un-fsynced page-cache bytes.
@@ -119,10 +121,13 @@ void WalWriter::append(u8 type, std::span<const u8> payload) {
   }
 }
 
-void WalWriter::sync() {
+bool WalWriter::sync() {
   require(file_ != nullptr, "WalWriter: sync after close");
-  std::fflush(file_);
-  if (policy_ != FsyncPolicy::kOff) ::fsync(::fileno(file_));
+  bool ok = std::fflush(file_) == 0;
+  if (policy_ != FsyncPolicy::kOff) {
+    ok = (::fsync(::fileno(file_)) == 0) && ok;
+  }
+  return ok;
 }
 
 WalSegment read_segment(const std::string& path) {

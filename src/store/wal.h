@@ -68,6 +68,7 @@ void fsync_dir(const std::string& dir);
 inline constexpr u8 kWalIntake = 1;      // sealed client blob accepted at intake
 inline constexpr u8 kWalBatch = 2;       // committed batch: ids + verdicts
 inline constexpr u8 kWalEpochClose = 3;  // epoch published/closed
+inline constexpr u8 kWalGeneration = 4;  // mesh channel-key generation bump
 
 struct WalRecord {
   u8 type = 0;
@@ -102,11 +103,15 @@ class WalWriter {
   u32 epoch() const { return epoch_; }
   const std::string& path() const { return path_; }
 
-  // Frames, writes, and (policy kAlways) fsyncs one record.
+  // Frames, writes, and (policy kAlways) fsyncs one record. Throws if the
+  // write -- or, under kAlways, the fsync -- fails, so the caller nacks
+  // instead of acking durability the disk refused.
   void append(u8 type, std::span<const u8> payload);
 
   // Flushes and fsyncs regardless of policy except kOff (epoch boundaries).
-  void sync();
+  // Returns false if the flush/fsync failed -- the caller must NOT prune
+  // older copies whose replacement never verifiably reached the platter.
+  bool sync();
 
   void close_file();
 

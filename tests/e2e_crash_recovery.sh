@@ -77,18 +77,35 @@ run_attempt() {
   wait "${spid[2]}" 2>/dev/null
   echo "e2e_crash_recovery: killed server 2 mid-epoch" >&2
 
-  # Force the one-batch-behind rejoin path deterministically: drop the
-  # LAST record of the victim's WAL -- the batch-3 commit -- so the
-  # restarted server recovers at 16/24 and must be caught up over the mesh
-  # (kCatchUpBatch) before the epoch can continue. The record is
-  # 8 (len+crc) + 1 (type) + 4 + 8*16 (ids) + 4+1 (verdict bitmap) = 146
-  # bytes for --batch 8; keep in sync with store/recovery.h's layout.
+  # Force the one-batch-behind rejoin path: drop the LAST record of the
+  # victim's WAL -- the batch-3 commit -- so the restarted server recovers
+  # at 16/24 and must be caught up over the mesh (kCatchUpBatch) before
+  # the epoch can continue. The record is 8 (len+crc) + 1 (type) + 4 +
+  # 8*16 (ids) + 4+1 (verdict bitmap) = 146 bytes for --batch 8; keep in
+  # sync with store/recovery.h's layout. ONLY drop it after verifying the
+  # trailing 146 bytes really are one whole batch record (body length 138,
+  # type 2): the kill may land before batch 3's record was written, and a
+  # blind truncate would then slice an intake record mid-body -- recovery
+  # would discard an acked blob a retained batch record still accepts and
+  # fail outright. When the record isn't there the batch was never
+  # committed anywhere and the plain announcement retry covers it.
   # Then append garbage: a torn tail recovery must truncate at the first
   # bad CRC.
   local seg
   seg=$(ls "$datadir/s2"/wal-*.log 2>/dev/null | sort | tail -1)
   if [[ -n "$seg" ]]; then
-    truncate -s -146 "$seg"
+    local size rec_len rec_type
+    size=$(wc -c < "$seg")
+    if [[ "$size" -ge 146 ]]; then
+      rec_len=$(od -An -tu4 -j $((size - 146)) -N4 "$seg" | tr -d ' ')
+      rec_type=$(od -An -tu1 -j $((size - 138)) -N1 "$seg" | tr -d ' ')
+      if [[ "$rec_len" == "138" && "$rec_type" == "2" ]]; then
+        truncate -s -146 "$seg"
+      else
+        echo "e2e_crash_recovery: batch-3 record not yet in WAL;" \
+             "skipping the forced catch-up drop" >&2
+      fi
+    fi
     printf '\xde\xad\xbe\xef\x17' >> "$seg"
   fi
 

@@ -351,6 +351,7 @@ TEST(RestoreStateFuzzTest, HostileSnapshotsAllRejectedWithoutUB) {
     w.u64_(0);                      // since
     w.u64_(1);                      // accepted
     w.u64_(8);                      // processed
+    w.u64_(0);                      // generation
     std::vector<F> acc(afe.k_prime(), F::zero());
     w.field_vector<F>(std::span<const F>(acc));
     w.u32_(0x00ffffff);             // floors: claims ~16M entries
@@ -368,6 +369,7 @@ TEST(RestoreStateFuzzTest, HostileSnapshotsAllRejectedWithoutUB) {
     w.u64_(0);
     w.u64_(1);
     w.u64_(8);                      // processed
+    w.u64_(0);                      // generation
     std::vector<F> acc(afe.k_prime(), F::zero());
     w.field_vector<F>(std::span<const F>(acc));
     w.u32_(0);
@@ -573,6 +575,121 @@ TEST(RecoveryTest, EpochCloseAndRotationReplay) {
   ASSERT_EQ(rec.buffer.size(), 2u);
   EXPECT_EQ(rec.buffer.at({888, 0}), leftover);
   EXPECT_EQ(rec.buffer.count({999, 0}), 1u);
+}
+
+// The mesh channel-key generation must survive a restart: an unrecovered
+// generation would let a full-mesh restart renegotiate max+1 over all-zero
+// hellos and reseal a retried batch's (different) plaintext under the same
+// (key, nonce). It rides in kWalGeneration records (mid-epoch bumps) and
+// in the snapshot (epoch boundaries); recovery restores the max of both.
+TEST(RecoveryTest, GenerationSurvivesRestart) {
+  Afe afe(6);
+  net::LoopbackMesh mesh(kServers);
+  std::vector<net::LoopbackTransport> links;
+  for (size_t i = 0; i < kServers; ++i) links.emplace_back(&mesh, i);
+
+  // WAL records alone (no snapshot): the max logged bump is restored.
+  TempDir dir;
+  store::EpochStore est(dir.path, store::FsyncPolicy::kOff);
+  est.open_segment(0);
+  est.append_generation(1);
+  est.append_generation(4);
+  {
+    Node node = fresh_node(afe, &links[2], 2);
+    auto rec = store::recover_node<F, Afe>(&node, &afe, &est);
+    ASSERT_TRUE(rec.ok) << rec.error;
+    EXPECT_EQ(node.generation(), 4u);
+  }
+
+  // Snapshot round-trip carries the generation too.
+  {
+    Node live = fresh_node(afe, &links[2], 2);
+    live.set_generation(7);
+    Node revived = fresh_node(afe, &links[2], 2);
+    ASSERT_TRUE(revived.restore_state(live.snapshot()));
+    EXPECT_EQ(revived.generation(), 7u);
+  }
+
+  // Snapshot + a later bump in the new segment: the max wins even though
+  // the snapshot is loaded first.
+  {
+    Node live = fresh_node(afe, &links[2], 2);
+    live.set_generation(7);
+    est.rotate(0, live.snapshot());
+    est.append_generation(9);
+    Node revived = fresh_node(afe, &links[2], 2);
+    auto rec = store::recover_node<F, Afe>(&revived, &afe, &est);
+    ASSERT_TRUE(rec.ok) << rec.error;
+    EXPECT_TRUE(rec.used_snapshot);
+    EXPECT_EQ(revived.generation(), 9u);
+  }
+}
+
+// A crash inside rotate() after the snapshot published but before the
+// carry-over intake records were appended to the new segment: the acked-
+// but-unconsumed blobs' only durable copies sit in the (un-pruned) old
+// epoch's segment, which recovery must still mine for intake records --
+// without resurrecting the blobs that epoch's batches consumed.
+TEST(RecoveryTest, CrashBetweenSnapshotAndCarryOverKeepsBufferedBlobs) {
+  Afe afe(6);
+  TempDir dir;
+  store::EpochStore est(dir.path, store::FsyncPolicy::kEpoch);
+
+  net::LoopbackMesh mesh(kServers);
+  std::vector<net::LoopbackTransport> links;
+  auto nodes = make_nodes(afe, mesh, links);
+
+  auto w1 = make_workload(afe, 8, 0);
+  std::vector<u8> verdicts0;
+  std::optional<Node::EpochAggregate> agg;
+  on_all_nodes(kServers, [&](size_t i) {
+    auto view = node_view(std::span<const Submission>(w1.subs), i);
+    auto v = nodes[i]->process_batch(std::span<const SubmissionShare>(view));
+    if (i == 0) verdicts0 = v;
+    auto a = nodes[i]->publish_epoch();
+    if (i == 0) agg = std::move(a);
+  });
+  ASSERT_TRUE(agg.has_value());
+
+  // Server 0's epoch-0 segment, exactly as the runtime writes it -- plus
+  // one acked blob no batch ever consumed.
+  est.open_segment(0);
+  std::vector<std::pair<u64, u64>> ids;
+  for (const auto& sub : w1.subs) {
+    net::Reader r(sub.blobs[0]);
+    const u64 seq = r.u64_();
+    est.append_intake(sub.client_id, seq, sub.blobs[0]);
+    ids.push_back({sub.client_id, seq});
+  }
+  est.append_batch(std::span<const std::pair<u64, u64>>(ids),
+                   std::span<const u8>(verdicts0));
+  const std::vector<u8> leftover(24, 0xee);
+  est.append_intake(888, 0, leftover);
+  net::Writer sig;
+  sig.field_vector<F>(std::span<const F>(agg->sigma));
+  est.append_epoch_close(0, agg->accepted, sig.data());
+  // The crash window: the boundary snapshot publishes, then the process
+  // dies before rotate() appends the carry-over or prunes anything.
+  ASSERT_TRUE(est.snapshots().write(1, nodes[0]->snapshot()));
+  EXPECT_EQ(store::list_wal_epochs(dir.path), (std::vector<u32>{0}));
+
+  Node revived = fresh_node(afe, &links[0], 0);
+  auto rec = store::recover_node<F, Afe>(&revived, &afe, &est);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_TRUE(rec.used_snapshot);
+  EXPECT_EQ(revived.epoch(), 1u);
+  EXPECT_EQ(revived.snapshot(), nodes[0]->snapshot());
+  // The unconsumed blob survives; the eight the batch consumed do not
+  // reappear (they would waste announced batch slots and shift the
+  // count-delimited epoch boundary).
+  ASSERT_EQ(rec.buffer.size(), 1u);
+  EXPECT_EQ(rec.buffer.at({888, 0}), leftover);
+  // The pre-snapshot segment still yields the catch-up record and the
+  // published history (via aggregates.log).
+  EXPECT_EQ(rec.last_batch_ids.size(), 8u);
+  ASSERT_EQ(rec.published.size(), 1u);
+  EXPECT_EQ(rec.published.at(0).accepted, agg->accepted);
+  EXPECT_EQ(rec.published.at(0).result, agg->result);
 }
 
 // A batch record claiming acceptance of a blob the WAL never logged is
