@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "core/deployment.h"
 #include "field/kernels.h"
 #include "poly/lagrange.h"
+#include "server/protocol.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every operator new in this binary bumps a counter,
@@ -193,18 +195,19 @@ int main(int argc, char** argv) {
   }
 
   // ---- end-to-end batched pipeline ------------------------------------
-  double batch_rate = 0, serial_rate = 0;
+  std::vector<Submission> subs;
   {
     PrioDeployment<F, Afe> client_side(&afe, {.num_servers = kServers});
     SecureRng rng(42);
-    std::vector<Submission> subs;
     subs.reserve(kN);
     for (u64 cid = 0; cid < kN; ++cid) {
       std::vector<u8> bits(kLen, 0);
       bits[cid % kLen] = 1;
       subs.push_back({cid, client_side.client_upload(bits, cid, rng)});
     }
-
+  }
+  double batch_rate = 0, serial_rate = 0;
+  {
     PrioDeployment<F, Afe> serial_dep(&afe, {.num_servers = kServers});
     const double t_serial = benchutil::time_seconds([&] {
       for (const auto& sub : subs) {
@@ -231,6 +234,58 @@ int main(int argc, char** argv) {
     json.kv("pipeline_serial_subs_per_s", serial_rate);
     json.kv("pipeline_batch_subs_per_s", batch_rate);
     json.kv("pipeline_batch_ns_per_sub", 1e9 / batch_rate);
+  }
+
+  // ---- sharded multi-lane pipeline ------------------------------------
+  // The compute model of the sharded server runtime (server/router.h): N
+  // independent lanes, each a single-threaded batch pipeline over its
+  // shard_of-split of the same submissions, running concurrently. The
+  // headline number is the best lane count on this host -- on >= 4 cores
+  // the 4-shard split should scale well past the single-lane rate.
+  {
+    double best_rate = 0;
+    size_t best_shards = 1;
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      std::vector<std::vector<Submission>> split(shards);
+      for (const auto& sub : subs) {
+        split[server::shard_of(sub.client_id, shards)].push_back(sub);
+      }
+      std::vector<std::unique_ptr<PrioDeployment<F, Afe>>> lanes;
+      for (size_t s = 0; s < shards; ++s) {
+        lanes.push_back(std::make_unique<PrioDeployment<F, Afe>>(
+            &afe, DeploymentOptions{.num_servers = kServers,
+                                    .batch_threads = 1}));
+      }
+      const double t = benchutil::time_seconds([&] {
+        std::vector<std::thread> threads;
+        threads.reserve(shards);
+        for (size_t s = 0; s < shards; ++s) {
+          threads.emplace_back([&, s] {
+            const auto& mine = split[s];
+            for (size_t off = 0; off < mine.size(); off += kBatch) {
+              const size_t q = std::min(kBatch, mine.size() - off);
+              lanes[s]->process_batch(
+                  std::span<const Submission>(mine.data() + off, q));
+            }
+          });
+        }
+        for (auto& th : threads) th.join();
+      }, 1);
+      u64 accepted = 0;
+      for (const auto& lane : lanes) accepted += lane->accepted();
+      require(accepted == kN, "bench: sharded pipeline rejected inputs");
+      const double rate = kN / t;
+      std::printf("pipeline sharded(%zu):    %6.0f subs/s   (%.2fx batch)\n",
+                  shards, rate, rate / batch_rate);
+      json.kv("pipeline_sharded" + std::to_string(shards) + "_subs_per_s",
+              rate);
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_shards = shards;
+      }
+    }
+    json.kv("pipeline_sharded_subs_per_s", best_rate);
+    json.kv("shards", static_cast<unsigned long long>(best_shards));
   }
 
   std::string payload = json.finish();

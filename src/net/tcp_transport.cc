@@ -107,6 +107,10 @@ Socket connect_tcp(const std::string& host, u16 port, int total_timeout_ms) {
   }
 }
 
+void FramedConn::shutdown_rw() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_RDWR);
+}
+
 void FramedConn::send_frame(std::span<const u8> payload) {
   std::vector<u8> frame = encode_frame(payload);
   size_t off = 0;
@@ -174,24 +178,60 @@ TcpMeshTransport::TcpMeshTransport(size_t self,
                                    const std::vector<PeerAddr>& addrs,
                                    TcpListener* listener,
                                    std::span<const u8> mesh_secret,
-                                   int setup_timeout_ms, int recv_timeout_ms)
-    : n_(addrs.size()), self_(self), addrs_(addrs), listener_(listener),
-      secret_(mesh_secret.begin(), mesh_secret.end()),
+                                   int setup_timeout_ms, int recv_timeout_ms,
+                                   size_t lanes)
+    : n_(addrs.size()), self_(self), lanes_(lanes), addrs_(addrs),
+      listener_(listener), secret_(mesh_secret.begin(), mesh_secret.end()),
       setup_timeout_ms_(setup_timeout_ms), recv_timeout_ms_(recv_timeout_ms),
-      peers_(addrs.size()) {
+      links_(addrs.size()) {
   require(self < n_, "TcpMeshTransport: bad self id");
   require(listener != nullptr, "TcpMeshTransport: need a listener");
+  require(lanes >= 1 && lanes <= 255, "TcpMeshTransport: 1..255 lanes");
+  for (auto& link : links_) {
+    link = std::make_unique<PeerLink>();
+    link->lane_q.resize(lanes_);
+  }
   establish(setup_timeout_ms_);
+}
+
+void TcpMeshTransport::interrupt() {
+  mesh_down_.store(true, std::memory_order_release);
+  for (size_t j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    PeerLink& link = *links_[j];
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.conn) link.conn->shutdown_rw();
+    link.down = true;
+    if (link.down_reason.empty()) link.down_reason = "interrupted";
+    link.cv.notify_all();
+  }
 }
 
 void TcpMeshTransport::reestablish() {
   // Dropping the links first doubles as the abort broadcast: a peer still
   // blocked in recv on one of them fails immediately and starts its own
   // reestablish, so the mesh converges on the rendezvous below without
-  // waiting out any protocol timeout.
-  for (auto& conn : peers_) conn.reset();
-  establish(reestablish_timeout_ms_ > 0 ? reestablish_timeout_ms_
-                                        : setup_timeout_ms_);
+  // waiting out any protocol timeout. (With multiple lanes the caller has
+  // already interrupted and parked every lane thread, so no reader holds
+  // a connection while it is destroyed here.)
+  for (size_t j = 0; j < n_; ++j) {
+    if (j == self_) continue;
+    PeerLink& link = *links_[j];
+    std::lock_guard<std::mutex> lock(link.mu);
+    link.conn.reset();
+    for (auto& q : link.lane_q) q.clear();  // stale pre-failure frames
+    link.down = false;
+    link.down_reason.clear();
+    link.reader_active = false;
+  }
+  try {
+    establish(reestablish_timeout_ms_ > 0 ? reestablish_timeout_ms_
+                                          : setup_timeout_ms_);
+  } catch (...) {
+    mesh_down_.store(true, std::memory_order_release);
+    throw;
+  }
+  mesh_down_.store(false, std::memory_order_release);
 }
 
 void TcpMeshTransport::establish(int timeout_ms) {
@@ -204,7 +244,7 @@ void TcpMeshTransport::establish(int timeout_ms) {
     Writer hello;
     hello.u32_(static_cast<u32>(self_));
     conn->send_frame(hello_channel(secret_, self_, j).seal(hello.data()));
-    peers_[j] = std::move(conn);
+    links_[j]->conn = std::move(conn);
   }
 
   // Accept every higher-id peer; the hello says (and proves) who dialed.
@@ -236,13 +276,13 @@ void TcpMeshTransport::establish(int timeout_ms) {
         // Find the unclaimed higher-id peer whose hello key opens it; an
         // unauthenticated dialer matches nothing and drops.
         for (size_t peer = self_ + 1; peer < n_; ++peer) {
-          if (peers_[peer] != nullptr) continue;
+          if (links_[peer]->conn != nullptr) continue;
           auto pt = hello_channel(secret_, peer, self_).open(*hello);
           if (!pt) continue;
           Reader r(*pt);
           u32 claimed = r.u32_();
           if (!r.ok() || !r.at_end() || claimed != peer) continue;
-          peers_[peer] = std::move(it->conn);
+          links_[peer]->conn = std::move(it->conn);
           --pending;
           break;
         }
@@ -260,23 +300,123 @@ void TcpMeshTransport::establish(int timeout_ms) {
 }
 
 void TcpMeshTransport::send(size_t to, std::vector<u8> frame, u64 logical) {
-  require(to < n_ && to != self_ && peers_[to] != nullptr,
-          "TcpMeshTransport::send: bad peer");
-  bytes_sent_ += frame.size();
-  messages_sent_ += 1;
-  (void)logical;  // wire accounting only distinguishes physical frames here
-  peers_[to]->send_frame(frame);
+  send_lane(0, to, std::move(frame), logical);
 }
 
 std::vector<u8> TcpMeshTransport::recv(size_t from) {
-  require(from < n_ && from != self_ && peers_[from] != nullptr,
-          "TcpMeshTransport::recv: bad peer");
-  return peers_[from]->recv_frame(recv_timeout_ms_);
+  return recv_lane(0, from);
+}
+
+void TcpMeshTransport::send_lane(size_t lane, size_t to, std::vector<u8> frame,
+                                 u64 logical) {
+  require(to < n_ && to != self_ && lane < lanes_,
+          "TcpMeshTransport::send_lane: bad peer or lane");
+  (void)logical;  // wire accounting only distinguishes physical frames here
+  if (mesh_down_.load(std::memory_order_acquire)) {
+    throw TransportError("mesh is down (awaiting reestablish)");
+  }
+  frame.insert(frame.begin(), static_cast<u8>(lane));
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  PeerLink& link = *links_[to];
+  // One frame hits the socket at a time; the link mutex is only taken
+  // briefly to check liveness so a blocked reader never delays a sender.
+  std::lock_guard<std::mutex> send_lock(link.send_mu);
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.down || link.conn == nullptr) {
+      throw TransportError("link to s" + std::to_string(to) + " is down" +
+                           (link.down_reason.empty()
+                                ? std::string()
+                                : " (" + link.down_reason + ")"));
+    }
+  }
+  try {
+    link.conn->send_frame(frame);
+  } catch (const TransportError& e) {
+    std::lock_guard<std::mutex> lock(link.mu);
+    link.down = true;
+    if (link.down_reason.empty()) link.down_reason = e.what();
+    link.cv.notify_all();
+    throw;
+  }
+}
+
+std::vector<u8> TcpMeshTransport::recv_lane(size_t lane, size_t from) {
+  require(from < n_ && from != self_ && lane < lanes_,
+          "TcpMeshTransport::recv_lane: bad peer or lane");
+  PeerLink& link = *links_[from];
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(recv_timeout_ms_);
+  std::unique_lock<std::mutex> lock(link.mu);
+  for (;;) {
+    auto& q = link.lane_q[lane];
+    if (!q.empty()) {
+      std::vector<u8> frame = std::move(q.front());
+      q.pop_front();
+      return frame;
+    }
+    if (link.down || mesh_down_.load(std::memory_order_acquire)) {
+      throw TransportError("link to s" + std::to_string(from) + " is down" +
+                           (link.down_reason.empty()
+                                ? std::string()
+                                : " (" + link.down_reason + ")"));
+    }
+    if (Clock::now() >= deadline) {
+      throw TransportError("recv from s" + std::to_string(from) +
+                           " lane " + std::to_string(lane) + ": timeout");
+    }
+    if (!link.reader_active) {
+      // Become the reader: pull the next frame off the socket (in <= 200ms
+      // slices so interrupt/down flags are honored promptly) and sort it
+      // into its lane queue -- possibly another lane's.
+      link.reader_active = true;
+      FramedConn* conn = link.conn.get();
+      lock.unlock();
+      std::optional<std::vector<u8>> f;
+      std::string err;
+      if (conn == nullptr) {
+        err = "no connection";
+      } else {
+        try {
+          int slice = std::min(200, ms_left(deadline));
+          f = conn->try_recv_frame(slice);
+          if (!f && conn->eof()) err = "peer closed connection";
+        } catch (const TransportError& e) {
+          err = e.what();
+        }
+      }
+      lock.lock();
+      link.reader_active = false;
+      if (!err.empty()) {
+        link.down = true;
+        if (link.down_reason.empty()) link.down_reason = err;
+        link.cv.notify_all();
+        continue;  // top of loop throws link-down
+      }
+      if (f) {
+        if (f->empty() || (*f)[0] >= lanes_) {
+          link.down = true;
+          if (link.down_reason.empty()) link.down_reason = "bad lane byte";
+          link.cv.notify_all();
+          continue;
+        }
+        size_t got = (*f)[0];
+        link.lane_q[got].emplace_back(f->begin() + 1, f->end());
+        link.cv.notify_all();
+      }
+      // Timed-out slice: loop re-checks deadline and down flags.
+    } else {
+      // Another lane thread is reading the socket; wait for it to either
+      // deliver our frame or give up the readership.
+      link.cv.wait_for(lock, std::chrono::milliseconds(200));
+    }
+  }
 }
 
 void TcpMeshTransport::end_round(u64 submissions) {
   (void)submissions;
-  ++rounds_;
+  rounds_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace prio::net

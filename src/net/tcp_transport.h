@@ -23,9 +23,12 @@
 // record layer the paper's deployment would use.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -160,6 +163,12 @@ class FramedConn {
   // True once the peer has closed its end (seen by try_recv_frame).
   bool eof() const { return eof_; }
 
+  // Shuts the socket down in both directions WITHOUT closing the fd: any
+  // thread blocked in a poll/recv on this connection wakes with EOF, and
+  // later sends fail. Safe to call concurrently with a blocked reader
+  // (unlike destroying the object, which would close the fd under it).
+  void shutdown_rw();
+
   // Writes one frame, looping over partial writes. Throws TransportError
   // on a broken connection.
   void send_frame(std::span<const u8> payload);
@@ -188,6 +197,18 @@ class FramedConn {
 // in-path attacker replaying a captured hello.) The caller provides the
 // already-listening socket so the same port can also serve clients before
 // and after mesh setup.
+//
+// Lane multiplexing (the sharded runtime, server/router.h): the mesh
+// still keeps ONE connection per peer pair, but every mesh frame is
+// prefixed with a one-byte lane id and N lane threads share each link.
+// Sends serialize on a per-link send mutex (a frame is written whole);
+// receives use a reader/follower scheme per link: whichever lane thread
+// wants a frame and finds no active reader becomes the reader, pulls
+// frames off the socket, and sorts them into per-lane queues; lanes whose
+// frame arrives under another lane's readership just wake and pop their
+// queue. Per-(link, lane) ordering is exactly TCP's in-order delivery
+// filtered by lane byte, which is what the counter-nonce channel sealing
+// above needs.
 class TcpMeshTransport final : public Transport {
  public:
   struct PeerAddr {
@@ -199,15 +220,21 @@ class TcpMeshTransport final : public Transport {
   // peers; `listener` must already be bound to addrs[self]; `mesh_secret`
   // is the deployment secret the hello frames authenticate under (all
   // servers must agree). Blocks until all 2*(n-1) directed links are up or
-  // the deadline passes.
+  // the deadline passes. `lanes` (1..255) is the number of multiplexed
+  // sub-streams per link; all servers must agree on it.
   TcpMeshTransport(size_t self, const std::vector<PeerAddr>& addrs,
                    TcpListener* listener, std::span<const u8> mesh_secret,
-                   int setup_timeout_ms = 30'000, int recv_timeout_ms = 30'000);
+                   int setup_timeout_ms = 30'000, int recv_timeout_ms = 30'000,
+                   size_t lanes = 1);
 
   size_t num_nodes() const override { return n_; }
   size_t self() const override { return self_; }
+  size_t lanes() const override { return lanes_; }
   void send(size_t to, std::vector<u8> frame, u64 logical) override;
   std::vector<u8> recv(size_t from) override;
+  void send_lane(size_t lane, size_t to, std::vector<u8> frame,
+                 u64 logical) override;
+  std::vector<u8> recv_lane(size_t lane, size_t from) override;
   void end_round(u64 submissions) override;
 
   // Crash recovery: closes every peer link (waking any peer still blocked
@@ -216,30 +243,54 @@ class TcpMeshTransport final : public Transport {
   // back to the construction-time setup timeout when <= 0). Throws
   // TransportError if the mesh cannot be rebuilt in time; the old links
   // are gone either way.
+  //
+  // NOT thread-safe against concurrent send/recv: with multiple lanes the
+  // caller must interrupt() first and park every lane thread (the router's
+  // repair barrier) before one thread runs reestablish().
   void reestablish() override;
   void set_reestablish_timeout_ms(int ms) { reestablish_timeout_ms_ = ms; }
 
-  u64 bytes_sent() const { return bytes_sent_; }
-  u64 messages_sent() const { return messages_sent_; }
-  u64 rounds() const { return rounds_; }
+  // Marks the mesh down and shuts down (without closing) every link's
+  // socket: all blocked lane readers wake with link-down errors and every
+  // subsequent send/recv fails fast until reestablish() succeeds. Safe to
+  // call from any thread at any time.
+  void interrupt() override;
+
+  u64 bytes_sent() const { return bytes_sent_.load(); }
+  u64 messages_sent() const { return messages_sent_.load(); }
+  u64 rounds() const { return rounds_.load(); }
 
  private:
+  // Per-peer link: the connection plus the lane demultiplexer state.
+  struct PeerLink {
+    std::mutex send_mu;  // writers: one frame hits the socket at a time
+    std::mutex mu;       // guards everything below
+    std::condition_variable cv;
+    std::unique_ptr<FramedConn> conn;
+    std::vector<std::deque<std::vector<u8>>> lane_q;  // demuxed frames
+    bool reader_active = false;  // one lane thread reads the socket
+    bool down = false;           // link failed (or interrupted)
+    std::string down_reason;
+  };
+
   // Dials every lower-id peer and accepts every higher-id one (the shared
   // deterministic rendezvous used by both construction and reestablish).
   void establish(int timeout_ms);
 
   size_t n_ = 0;
   size_t self_ = 0;
+  size_t lanes_ = 1;
   std::vector<PeerAddr> addrs_;
   TcpListener* listener_ = nullptr;
   std::vector<u8> secret_;
   int setup_timeout_ms_ = 30'000;
   int reestablish_timeout_ms_ = 0;  // <= 0: use setup_timeout_ms_
   int recv_timeout_ms_ = 30'000;
-  std::vector<std::unique_ptr<FramedConn>> peers_;  // indexed by node id
-  u64 bytes_sent_ = 0;
-  u64 messages_sent_ = 0;
-  u64 rounds_ = 0;
+  std::vector<std::unique_ptr<PeerLink>> links_;  // indexed by node id
+  std::atomic<bool> mesh_down_{false};
+  std::atomic<u64> bytes_sent_{0};
+  std::atomic<u64> messages_sent_{0};
+  std::atomic<u64> rounds_{0};
 };
 
 }  // namespace prio::net

@@ -39,6 +39,15 @@ class TransportError : public std::runtime_error {
 
 // One server's view of the server mesh. `self()` names this node; frames
 // are addressed by peer node id.
+//
+// Lanes: a sharded server (server/router.h) runs N independent batch
+// lanes through ONE mesh; each directed link carries `lanes()` ordered
+// sub-streams, addressed by a lane id. Every transport supports at least
+// lane 0, and the single-lane send/recv entry points are exactly
+// {send,recv}_lane on lane 0, so unsharded callers never see the lane
+// machinery. Ordering is guaranteed per (link, lane) -- which is all the
+// counter-nonce SecureChannel sealing above needs, since every sealed
+// channel is scoped to one lane.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -46,12 +55,27 @@ class Transport {
   virtual size_t num_nodes() const = 0;
   virtual size_t self() const = 0;
 
+  // How many lanes this transport multiplexes per link (>= 1).
+  virtual size_t lanes() const { return 1; }
+
   // Ships one framed message carrying `logical` protocol-level messages.
   virtual void send(size_t to, std::vector<u8> frame, u64 logical) = 0;
 
   // Blocks until the next frame from `from` arrives; throws TransportError
   // on link failure or timeout.
   virtual std::vector<u8> recv(size_t from) = 0;
+
+  // Lane-addressed variants. The defaults make every transport a valid
+  // 1-lane transport; multiplexing implementations override all three.
+  virtual void send_lane(size_t lane, size_t to, std::vector<u8> frame,
+                         u64 logical) {
+    if (lane != 0) throw TransportError("transport has a single lane");
+    send(to, std::move(frame), logical);
+  }
+  virtual std::vector<u8> recv_lane(size_t lane, size_t from) {
+    if (lane != 0) throw TransportError("transport has a single lane");
+    return recv(from);
+  }
 
   // Marks the end of a communication round covering `submissions` protocol
   // instances (accounting hook; see SimNetwork::end_round).
@@ -68,6 +92,43 @@ class Transport {
   virtual void reestablish() {
     throw TransportError("transport does not support reestablish");
   }
+
+  // Wakes every thread blocked in a send/recv on this transport and makes
+  // further operations fail fast with TransportError, without tearing the
+  // links down yet. The sharded runtime uses it to park ALL lane threads
+  // before one of them runs reestablish() -- a reestablish that raced a
+  // blocked reader would swap the connection under it. Default: no-op
+  // (single-lane callers reestablish directly, nothing else is blocked).
+  virtual void interrupt() {}
+};
+
+// A single-lane view of one lane of a multiplexing transport: what each
+// ShardRuntime/ServerNode holds, so all the protocol code stays written
+// against the plain single-lane Transport interface. reestablish() is
+// deliberately NOT forwarded -- recovering the shared mesh must be
+// coordinated across every lane (server/router.h), never triggered from
+// one lane's view.
+class LaneTransport final : public Transport {
+ public:
+  LaneTransport(Transport* base, size_t lane) : base_(base), lane_(lane) {
+    require(lane < base->lanes(), "LaneTransport: lane out of range");
+  }
+
+  size_t num_nodes() const override { return base_->num_nodes(); }
+  size_t self() const override { return base_->self(); }
+  size_t lane() const { return lane_; }
+
+  void send(size_t to, std::vector<u8> frame, u64 logical) override {
+    base_->send_lane(lane_, to, std::move(frame), logical);
+  }
+  std::vector<u8> recv(size_t from) override {
+    return base_->recv_lane(lane_, from);
+  }
+  void end_round(u64 submissions) override { base_->end_round(submissions); }
+
+ private:
+  Transport* base_;
+  size_t lane_;
 };
 
 // Shared state for s in-process nodes: one FIFO of frames per directed
@@ -76,27 +137,34 @@ class Transport {
 // pipeline.
 class LoopbackMesh {
  public:
-  explicit LoopbackMesh(size_t num_nodes, u64 recv_timeout_ms = 10'000)
-      : n_(num_nodes), timeout_ms_(recv_timeout_ms), sim_(num_nodes),
-        queues_(num_nodes * num_nodes) {}
+  explicit LoopbackMesh(size_t num_nodes, u64 recv_timeout_ms = 10'000,
+                        size_t lanes = 1)
+      : n_(num_nodes), lanes_(lanes), timeout_ms_(recv_timeout_ms),
+        sim_(num_nodes), queues_(num_nodes * num_nodes * lanes) {
+    require(lanes >= 1, "LoopbackMesh: need >= 1 lane");
+  }
 
   size_t num_nodes() const { return n_; }
+  size_t lanes() const { return lanes_; }
   SimNetwork& sim() { return sim_; }
 
-  void send(size_t from, size_t to, std::vector<u8> frame, u64 logical) {
-    require(from < n_ && to < n_, "LoopbackMesh::send: bad node id");
+  void send(size_t from, size_t to, std::vector<u8> frame, u64 logical,
+            size_t lane = 0) {
+    require(from < n_ && to < n_ && lane < lanes_,
+            "LoopbackMesh::send: bad node or lane id");
     {
       std::lock_guard<std::mutex> lock(mu_);
       sim_.send_coalesced(from, to, frame.size(), logical);
-      queues_[from * n_ + to].push_back(std::move(frame));
+      queues_[(from * n_ + to) * lanes_ + lane].push_back(std::move(frame));
     }
     cv_.notify_all();
   }
 
-  std::vector<u8> recv(size_t from, size_t to) {
-    require(from < n_ && to < n_, "LoopbackMesh::recv: bad node id");
+  std::vector<u8> recv(size_t from, size_t to, size_t lane = 0) {
+    require(from < n_ && to < n_ && lane < lanes_,
+            "LoopbackMesh::recv: bad node or lane id");
     std::unique_lock<std::mutex> lock(mu_);
-    auto& q = queues_[from * n_ + to];
+    auto& q = queues_[(from * n_ + to) * lanes_ + lane];
     if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_),
                       [&] { return !q.empty(); })) {
       throw TransportError("LoopbackMesh::recv: timeout");
@@ -118,6 +186,7 @@ class LoopbackMesh {
 
  private:
   size_t n_;
+  size_t lanes_;
   u64 timeout_ms_;
   SimNetwork sim_;
   std::vector<std::deque<std::vector<u8>>> queues_;
@@ -135,6 +204,7 @@ class LoopbackTransport final : public Transport {
 
   size_t num_nodes() const override { return mesh_->num_nodes(); }
   size_t self() const override { return self_; }
+  size_t lanes() const override { return mesh_->lanes(); }
 
   void send(size_t to, std::vector<u8> frame, u64 logical) override {
     mesh_->send(self_, to, std::move(frame), logical);
@@ -142,6 +212,15 @@ class LoopbackTransport final : public Transport {
 
   std::vector<u8> recv(size_t from) override {
     return mesh_->recv(from, self_);
+  }
+
+  void send_lane(size_t lane, size_t to, std::vector<u8> frame,
+                 u64 logical) override {
+    mesh_->send(self_, to, std::move(frame), logical, lane);
+  }
+
+  std::vector<u8> recv_lane(size_t lane, size_t from) override {
+    return mesh_->recv(from, self_, lane);
   }
 
   void end_round(u64 submissions) override {

@@ -32,7 +32,7 @@
 // protocol state (CRC-framed) so a server can restart at an epoch boundary;
 // apply_batch_record()/close_epoch_local() replay committed history --
 // from the WAL (store/recovery.h) or from a peer's rejoin catch-up record
-// (server/runtime.h) -- without touching the network. A batch attempt that
+// (server/shard.h) -- without touching the network. A batch attempt that
 // dies mid-round (net::TransportError) is rolled back to the exact
 // pre-batch state, including the deterministic r-refresh schedule, so the
 // mesh can re-run the same batch after the peer rejoins. All sealed
@@ -81,6 +81,16 @@ struct ServerNodeConfig {
   u64 master_seed = 1;
   size_t refresh_every = 1024;  // resample r after this many submissions
   size_t batch_threads = 1;     // local-check pool; 0 = hardware
+  // Sharded runtime (server/shard.h): which batch lane this node runs on.
+  // Lane 0 is byte-for-byte the unsharded protocol (same context seed,
+  // same channel endpoints); lanes > 0 mix the lane id into the context
+  // seed and scope every sealed channel by "/L<lane>", so concurrent lanes
+  // walk independent r schedules and never share a (key, nonce).
+  size_t lane = 0;
+  // If set, parallel_for runs on this pool instead of a private one (the
+  // router shares one pool across all lanes; ThreadPool::parallel_for is
+  // safe from concurrent callers). Not owned.
+  ThreadPool* shared_pool = nullptr;
 };
 
 template <PrimeField F, typename Afe>
@@ -100,8 +110,9 @@ class ServerNode {
         transport_(transport),
         master_(master_seed_bytes(cfg.master_seed)),
         // Same shared-context seed as PrioDeployment, so a node mesh and a
-        // simnet deployment over the same inputs walk identical r schedules.
-        ctx_(&afe->valid_circuit(), cfg.num_servers, cfg.master_seed ^ 0x5eed),
+        // simnet deployment over the same inputs walk identical r schedules
+        // (lane 0 exactly; higher lanes mix in the lane id).
+        ctx_(&afe->valid_circuit(), cfg.num_servers, context_seed(cfg)),
         sealer_(master_),
         accumulator_(afe->k_prime(), F::zero()) {
     require(cfg.num_servers >= 2, "ServerNode: need >= 2 servers");
@@ -112,9 +123,14 @@ class ServerNode {
   }
 
   size_t self() const { return cfg_.self; }
+  size_t lane() const { return cfg_.lane; }
   u32 epoch() const { return epoch_; }
   u64 accepted() const { return accepted_; }
   u64 processed() const { return processed_; }
+  // Submissions processed within the CURRENT epoch (the router's epoch
+  // quota works off this; resets at every epoch close, survives restarts
+  // because restore + WAL replay rebuild it the same way a live run does).
+  u64 epoch_processed() const { return processed_ - epoch_start_; }
   u64 batch_counter() const { return batch_counter_; }
 
   // Mesh generation: every sealed channel key is scoped by it, and the
@@ -345,12 +361,24 @@ class ServerNode {
     return verdicts;
   }
 
+  // Lane-scoped verification-context seed. Lane 0 keeps the exact seed
+  // PrioDeployment uses (simnet equivalence depends on it); higher lanes
+  // mix the lane id in with a splitmix-style odd multiplier so each lane
+  // walks its own independent r schedule.
+  static u64 context_seed(const ServerNodeConfig& cfg) {
+    u64 seed = cfg.master_seed ^ 0x5eed;
+    if (cfg.lane != 0) {
+      seed ^= u64{cfg.lane} * 0x9e3779b97f4a7c15ull + 0x5eedULL;
+    }
+    return seed;
+  }
+
   // Rebuilds the verification context by replaying its deterministic
   // refresh schedule up to `refreshes` (rollback of an aborted batch that
   // had already resampled r).
   void rebuild_context(u64 refreshes) {
     ctx_ = VerificationContext<F>(&afe_->valid_circuit(), cfg_.num_servers,
-                                  cfg_.master_seed ^ 0x5eed);
+                                  context_seed(cfg_));
     refreshes_ = 1;  // the context constructor performs the first refresh
     while (refreshes_ < refreshes) {
       ctx_.refresh();
@@ -420,12 +448,13 @@ class ServerNode {
     std::fill(accumulator_.begin(), accumulator_.end(), F::zero());
     accepted_ = 0;
     ++epoch_;
+    epoch_start_ = processed_;
     return out;
   }
 
   // -------------------------------------------------------------------
   // Committed-history replay, shared by WAL recovery (store/recovery.h)
-  // and the rejoin catch-up path (server/runtime.h): applies one committed
+  // and the rejoin catch-up path (server/shard.h): applies one committed
   // batch -- the announced batch in order, with the final verdicts every
   // node agreed on -- without any network rounds. Reproduces exactly the
   // state transitions process_batch would have made: batch counter, the
@@ -483,6 +512,7 @@ class ServerNode {
     std::fill(accumulator_.begin(), accumulator_.end(), F::zero());
     accepted_ = 0;
     ++epoch_;
+    epoch_start_ = processed_;
   }
 
   // Seals/opens a rejoin control-frame body under this node's generation-
@@ -582,6 +612,10 @@ class ServerNode {
     batch_counter_ = batch_counter;
     accepted_ = accepted;
     processed_ = processed;
+    // Snapshots are taken at epoch boundaries, so the restored processed
+    // count IS the epoch's starting count; WAL replay of the open epoch
+    // then grows epoch_processed() exactly as the live run did.
+    epoch_start_ = processed;
     gen_ = gen;
     accumulator_ = std::move(acc);
     for (const auto& [cid, floor] : floor_list) replay_.set_floor(cid, floor);
@@ -618,6 +652,10 @@ class ServerNode {
     from_ep += std::to_string(from);
     from_ep += "/g";
     from_ep += std::to_string(gen_);
+    if (cfg_.lane != 0) {  // lane 0 keeps the unsharded endpoint names
+      from_ep += "/L";
+      from_ep += std::to_string(cfg_.lane);
+    }
     from_ep += '/';
     from_ep += tag;
     from_ep += '/';
@@ -662,6 +700,7 @@ class ServerNode {
   }
 
   ThreadPool& ensure_pool() {
+    if (cfg_.shared_pool) return *cfg_.shared_pool;
     if (!pool_) pool_ = std::make_unique<ThreadPool>(cfg_.batch_threads);
     return *pool_;
   }
@@ -687,6 +726,7 @@ class ServerNode {
   u64 refreshes_ = 1;  // the context constructor performs the first refresh
   u64 accepted_ = 0;
   u64 processed_ = 0;
+  u64 epoch_start_ = 0;  // processed_ at the last epoch boundary
   u32 epoch_ = 0;
   u64 gen_ = 0;  // mesh generation (see set_generation)
 };

@@ -15,25 +15,38 @@
 //   ./prio_client --servers $SERVERS --len 16 --clients 40 --expect-clients 40
 //
 // Every server must be started with the same --servers list, --master-seed,
-// --len, --epoch-size, --batch, and --epochs. Exit code 0 means all epochs
-// completed (and, on server 0, were published).
+// --len, --epoch-size, --batch, --epochs, and --shards. Exit code 0 means
+// all epochs completed (and, on server 0, were published).
+//
+// Sharding (--shards N, default 1): the runtime splits into N ShardRuntimes
+// behind a ServerRouter (server/router.h) -- client ids are hashed to a
+// shard, and N independent batch lanes run through the one peer mesh
+// concurrently (the mesh multiplexes lanes over its framed connections).
+// All servers must agree on N. With --shards 1 the wire protocol, store
+// layout, and epoch semantics are exactly the unsharded runtime's.
 //
 // Durability: with --data-dir DIR the server WAL-logs every accepted
 // intake blob and every committed batch, snapshots its protocol state at
 // epoch boundaries, and -- restarted with the same --data-dir after a
 // crash (even kill -9 mid-epoch) -- recovers, rejoins the mesh, and the
 // epoch completes with the same published aggregate as an uninterrupted
-// run. --fsync always|epoch|off picks the durability/throughput trade-off
-// (store/wal.h); --rejoin-timeout-ms bounds how long a surviving server
-// waits for a crashed peer to come back.
+// run. Sharded, the layout is DIR/shard-00 ... DIR/shard-NN, one store per
+// shard, each recovered independently; --shards 1 keeps the flat DIR
+// layout byte-compatible with pre-sharding deployments. --fsync
+// always|epoch|off picks the durability/throughput trade-off (store/wal.h);
+// --rejoin-timeout-ms bounds how long a surviving server waits for a
+// crashed peer to come back.
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "afe/bitvec_sum.h"
 #include "server/cli.h"
-#include "server/runtime.h"
+#include "server/router.h"
 #include "store/recovery.h"
 
 using namespace prio;
@@ -47,31 +60,46 @@ int main(int argc, char** argv) {
         flags.str("servers", "127.0.0.1:9101:9201,127.0.0.1:9102:9202"));
     const size_t id = flags.num("id", 0);
     require(id < endpoints.size(), "--id out of range of --servers");
+    const size_t shards = flags.num("shards", 1);
+    require(shards >= 1 && shards <= 255, "--shards must be 1..255");
 
     Afe afe(flags.num("len", 16));
-    ServerNodeConfig cfg;
-    cfg.num_servers = endpoints.size();
-    cfg.self = id;
-    cfg.master_seed = flags.num("master-seed", 1);
-    cfg.refresh_every = flags.num("refresh-every", 1024);
-    cfg.batch_threads = flags.num("threads", 1);
+    ServerNodeConfig base_cfg;
+    base_cfg.num_servers = endpoints.size();
+    base_cfg.self = id;
+    base_cfg.master_seed = flags.num("master-seed", 1);
+    base_cfg.refresh_every = flags.num("refresh-every", 1024);
+    base_cfg.batch_threads = flags.num("threads", 1);
 
-    server::ServerRuntime<F, Afe>::Options opts;
+    server::RuntimeOptions opts;
     opts.epoch_size = flags.num("epoch-size", 64);
     opts.max_batch = flags.num("batch", 64);
     opts.epochs = static_cast<u32>(flags.num("epochs", 1));
-
     opts.announce_wait_ms =
         static_cast<int>(flags.num("announce-wait-ms", 60'000));
+    opts.linger_ms = static_cast<int>(flags.num("linger-ms", 50));
 
-    // Durable epoch store (optional): opened before the mesh so a corrupt
-    // directory fails fast, recovered after the node exists.
-    std::unique_ptr<store::EpochStore> epoch_store;
+    // Durable epoch stores (optional), one per shard: opened before the
+    // mesh so a corrupt directory fails fast, recovered after the nodes
+    // exist. One shard keeps the flat pre-sharding layout.
+    std::vector<std::unique_ptr<store::EpochStore>> stores(shards);
     if (flags.has("data-dir")) {
       const auto policy = store::parse_fsync_policy(flags.str("fsync", "epoch"));
       require(policy.has_value(), "--fsync must be always, epoch, or off");
-      epoch_store = std::make_unique<store::EpochStore>(
-          flags.str("data-dir", ""), *policy);
+      const std::string root = flags.str("data-dir", "");
+      // EpochStore mkdirs only its own directory; with per-shard subdirs
+      // the root has to exist first.
+      if (shards > 1) ::mkdir(root.c_str(), 0777);
+      for (size_t l = 0; l < shards; ++l) {
+        std::string dir = root;
+        if (shards > 1) {
+          char sub[32];
+          std::snprintf(sub, sizeof(sub), "/shard-%02u",
+                        static_cast<unsigned>(l));
+          dir += sub;
+        }
+        stores[l] = std::make_unique<store::EpochStore>(dir, *policy);
+      }
     }
 
     // Listen before dialing, so peers starting in any order can connect.
@@ -80,58 +108,84 @@ int main(int argc, char** argv) {
     const std::string bind_host = flags.str("bind", "0.0.0.0");
     net::TcpListener peer_listener(endpoints[id].peer_port, bind_host);
     net::TcpListener client_listener(endpoints[id].client_port, bind_host);
-    std::fprintf(stderr, "[server %zu] peers=%u clients=%u; joining mesh...\n",
-                 id, peer_listener.port(), client_listener.port());
+    std::fprintf(stderr,
+                 "[server %zu] peers=%u clients=%u shards=%zu; joining "
+                 "mesh...\n",
+                 id, peer_listener.port(), client_listener.port(), shards);
     // Followers block in recv for the leader's next announcement while the
     // leader may legitimately wait announce_wait_ms for a batch to fill, so
     // the mesh recv timeout must comfortably exceed that.
-    const std::vector<u8> mesh_secret = master_seed_bytes(cfg.master_seed);
+    const std::vector<u8> mesh_secret = master_seed_bytes(base_cfg.master_seed);
     net::TcpMeshTransport mesh(
         id, server::peer_addrs(endpoints), &peer_listener, mesh_secret,
         static_cast<int>(flags.num("mesh-timeout-ms", 30'000)),
         static_cast<int>(
-            flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)));
+            flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)),
+        shards);
     // A crashed peer needs time to restart and redial before a surviving
     // server gives up on re-establishing the mesh.
     mesh.set_reestablish_timeout_ms(
         static_cast<int>(flags.num("rejoin-timeout-ms", 120'000)));
-    std::fprintf(stderr, "[server %zu] mesh up (%zu servers)\n", id,
-                 mesh.num_nodes());
+    std::fprintf(stderr, "[server %zu] mesh up (%zu servers, %zu lanes)\n", id,
+                 mesh.num_nodes(), mesh.lanes());
 
-    ServerNode<F, Afe> node(&afe, cfg, &mesh);
-    server::ServerRuntime<F, Afe> runtime(&node, &mesh, &client_listener, opts,
-                                          epoch_store.get());
-    if (epoch_store) {
-      auto rec = store::recover_node<F, Afe>(&node, &afe, epoch_store.get(),
-                                             opts.max_buffered);
-      if (!rec.ok) {
-        std::fprintf(stderr, "prio_server: recovery failed: %s\n",
-                     rec.error.c_str());
-        return 1;
+    // One node + shard runtime per lane, all over single-lane views of the
+    // shared mesh. The verification pool is shared across lanes (the
+    // work-queue pool takes concurrent parallel_for callers); each lane's
+    // channel keys and r schedule are lane-scoped inside the node.
+    ThreadPool pool(base_cfg.batch_threads);
+    using Router = server::ServerRouter<F, Afe>;
+    server::ServerRouter<F, Afe> router(&afe, &mesh, &client_listener, opts);
+    std::vector<std::unique_ptr<net::LaneTransport>> lanes;
+    std::vector<std::unique_ptr<ServerNode<F, Afe>>> nodes;
+    std::vector<std::unique_ptr<Router::Shard>> shard_runtimes;
+    for (size_t l = 0; l < shards; ++l) {
+      lanes.push_back(std::make_unique<net::LaneTransport>(&mesh, l));
+      ServerNodeConfig cfg = base_cfg;
+      cfg.lane = l;
+      cfg.shared_pool = &pool;
+      nodes.push_back(
+          std::make_unique<ServerNode<F, Afe>>(&afe, cfg, lanes.back().get()));
+      shard_runtimes.push_back(std::make_unique<Router::Shard>(
+          nodes.back().get(), lanes.back().get(), &router, opts, shards,
+          stores[l].get()));
+      if (stores[l]) {
+        auto rec = store::recover_node<F, Afe>(nodes.back().get(), &afe,
+                                               stores[l].get(),
+                                               opts.max_buffered);
+        if (!rec.ok) {
+          std::fprintf(stderr,
+                       "prio_server: recovery failed (shard %zu): %s\n", l,
+                       rec.error.c_str());
+          return 1;
+        }
+        if (rec.used_snapshot || rec.batches_applied > 0 ||
+            rec.intake_records > 0) {
+          std::fprintf(
+              stderr,
+              "[server %zu shard %zu] recovered: epoch=%u processed=%llu "
+              "accepted=%llu (%llu batches, %llu intake records, %u torn "
+              "tails truncated)\n",
+              id, l, nodes.back()->epoch(),
+              static_cast<unsigned long long>(nodes.back()->processed()),
+              static_cast<unsigned long long>(nodes.back()->accepted()),
+              static_cast<unsigned long long>(rec.batches_applied),
+              static_cast<unsigned long long>(rec.intake_records),
+              rec.truncated_tails);
+        }
+        shard_runtimes.back()->seed_recovered(std::move(rec));
       }
-      if (rec.used_snapshot || rec.batches_applied > 0 ||
-          rec.intake_records > 0) {
-        std::fprintf(stderr,
-                     "[server %zu] recovered from %s: epoch=%u processed=%llu "
-                     "accepted=%llu (%llu batches, %llu intake records, %u "
-                     "torn tails truncated)\n",
-                     id, flags.str("data-dir", "").c_str(), node.epoch(),
-                     static_cast<unsigned long long>(node.processed()),
-                     static_cast<unsigned long long>(node.accepted()),
-                     static_cast<unsigned long long>(rec.batches_applied),
-                     static_cast<unsigned long long>(rec.intake_records),
-                     rec.truncated_tails);
-      }
-      runtime.seed_recovered(std::move(rec));
+      router.add_shard(shard_runtimes.back().get());
     }
-    std::thread intake([&] { runtime.serve_clients(); });
+    router.finish_setup();
+    std::thread intake([&] { router.serve_clients(); });
 
     // The intake thread must be joined on every path out of the epoch loop;
     // letting an exception unwind past a joinable std::thread would turn a
     // reportable protocol failure into std::terminate.
     int rc = 0;
     try {
-      auto last = runtime.run_epochs();
+      auto last = router.run_epochs();
       if (last) {
         std::printf("[server %zu] epoch %u published: accepted=%llu counts=[",
                     id, last->epoch,
@@ -143,15 +197,17 @@ int main(int argc, char** argv) {
         std::printf("]\n");
         std::fflush(stdout);
       }
-      runtime.drain_and_stop();
+      router.drain_and_stop();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
-      runtime.stop();
+      router.stop();
       rc = 1;
     }
     intake.join();
+    u64 processed = 0;
+    for (const auto& n : nodes) processed += n->processed();
     std::fprintf(stderr, "[server %zu] done (%llu submissions processed)\n",
-                 id, static_cast<unsigned long long>(node.processed()));
+                 id, static_cast<unsigned long long>(processed));
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());

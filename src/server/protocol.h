@@ -18,13 +18,23 @@
 // a client can submit and then wait for the result on one connection.
 //
 // Server <-> server frames (batch announcements and the SNIP rounds) are
-// sealed with net::SecureChannel; see server/node.h. The one plaintext
-// mesh frame is the leader's batch announcement:
+// sealed with net::SecureChannel; see server/node.h. Two mesh frames are
+// plaintext -- the leader's batch announcement and the lane-close marker:
 //
-//   kBatchAnnounce: u8 type, u32 count, count * (u64 client_id, u64 seq)
+//   kBatchAnnounce: u8 type, u32 lane, u32 count,
+//                   count * (u64 client_id, u64 seq)
+//   kLaneClose:     u8 type, u32 lane, u32 epoch    (server 0 -> every node)
 //
-// It names which buffered submissions form the next batch and in what
-// order; it carries only submission identifiers, never share material.
+// The announcement names which buffered submissions form the next batch
+// and in what order; it carries only submission identifiers, never share
+// material. Every receiving shard checks shard_of(client_id) for every
+// announced id against its own lane: a blob replayed (or misrouted) to the
+// wrong shard can never be smuggled into another shard's batch, because
+// the announcement itself fails validation there. kLaneClose tells a
+// lane's followers that the router is closing the epoch on that lane (no
+// more batches this epoch); it carries no state -- the actual epoch close
+// is still the sealed two-phase publish/commit round (server/node.h), so
+// forging it can only force a retried publish, which fails loudly.
 //
 // Rejoin / crash-recovery control frames. After the mesh is
 // (re)established -- at clean startup, and again whenever a peer failure
@@ -34,8 +44,8 @@
 // committed) is brought level by the lowest-id up-to-date node before the
 // protocol resumes:
 //
-//   kSyncHello:     u8 type, u32 epoch, u64 processed, u64 accepted,
-//                   u64 generation                     (every node -> every node)
+//   kSyncHello:     u8 type, u32 lane, u32 epoch, u64 processed,
+//                   u64 accepted, u64 generation   (every node -> every node)
 //   kCatchUpBatch:  u8 type, sealed{u32 count,
 //                   count * (u64 client_id, u64 seq),
 //                   bitmap verdicts}                   (frontier -> behind node)
@@ -65,8 +75,24 @@ inline constexpr u8 kSubmitAck = 0x12;
 inline constexpr u8 kGetAggregate = 0x13;
 inline constexpr u8 kAggregate = 0x14;
 inline constexpr u8 kBatchAnnounce = 0x21;
+inline constexpr u8 kLaneClose = 0x22;
 inline constexpr u8 kSyncHello = 0x31;
 inline constexpr u8 kCatchUpBatch = 0x32;
 inline constexpr u8 kCatchUpEpoch = 0x33;
+
+// Client id -> shard assignment, identical on every server (and in the
+// sharded bench): a splitmix64 finalizer over the id, reduced mod the
+// shard count. The full 64-bit mix means related ids (sequential client
+// numbers) still spread evenly; the same id ALWAYS lands on the same
+// shard, which is what keeps each client's replay floor confined to one
+// shard's state.
+inline size_t shard_of(u64 client_id, size_t shards) {
+  if (shards <= 1) return 0;
+  u64 z = client_id + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<size_t>(z % shards);
+}
 
 }  // namespace prio::server

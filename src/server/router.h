@@ -1,0 +1,431 @@
+// Thin per-server router in front of N ShardRuntimes (server/shard.h).
+//
+// The router owns everything that must be global to the server process:
+//
+//   * the client listener and per-connection intake threads: a submission
+//     is routed to shard_of(client_id) (protocol.h), so the same client
+//     ALWAYS lands on the same shard and its replay floor lives in exactly
+//     one shard's state;
+//   * the epoch quota (server 0 only): an epoch closes after epoch_size
+//     submissions ACROSS lanes, so the sequencer lanes draw per-batch
+//     allowances from one shared counter and close their lane's epoch
+//     when it runs dry;
+//   * mesh repair: any lane's disruption interrupts the shared transport
+//     and every lane's waits, ALL live lanes park on a barrier, exactly
+//     one of them runs TcpMeshTransport::reestablish() (which must never
+//     race a blocked reader), and then every lane re-syncs its own
+//     protocol position;
+//   * the published aggregate (server 0): per-lane epoch aggregates are
+//     summed (field addition commutes, so the result is bit-identical to
+//     an unsharded run over the same inputs) and served to clients.
+//
+// Lane threads are spawned by run_epochs, one per shard; the router
+// rethrows the first lane error after all lanes finish, so a fatal lane
+// (resync budget exhausted, traffic starvation) fails the server the way
+// the single-lane runtime did.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/shard.h"
+
+namespace prio::server {
+
+template <PrimeField F, typename Afe>
+class ServerRouter {
+ public:
+  using Node = ServerNode<F, Afe>;
+  using EpochAggregate = typename Node::EpochAggregate;
+  using Shard = ShardRuntime<F, Afe, ServerRouter<F, Afe>>;
+
+  // `mesh` is the SHARED multiplexed transport (each shard holds its own
+  // net::LaneTransport view of it). Shards are registered with add_shard
+  // in lane order; call finish_setup() after the last one (and after any
+  // seed_recovered), before serve_clients/run_epochs.
+  ServerRouter(const Afe* afe, net::Transport* mesh,
+               net::TcpListener* client_listener, RuntimeOptions opts)
+      : afe_(afe), mesh_(mesh), listener_(client_listener), opts_(opts) {}
+
+  ~ServerRouter() { stop(); }
+
+  void add_shard(Shard* shard) {
+    require(shard->lane() == shards_.size(), "add_shard: lanes out of order");
+    shards_.push_back(shard);
+  }
+
+  size_t self() const { return mesh_->self(); }
+  size_t shards() const { return shards_.size(); }
+
+  // Single-threaded setup after all shards are registered and seeded:
+  // derives each epoch's remaining quota from what the lanes already
+  // committed (a restarted sequencer must not hand out quota the epoch
+  // already consumed), and rebuilds the cross-lane published map from the
+  // per-lane aggregates recovery handed back.
+  void finish_setup() {
+    require(!shards_.empty(), "ServerRouter: need >= 1 shard");
+    if (self() != 0) return;
+    for (Shard* s : shards_) {
+      const u64 used = s->node()->epoch_processed();
+      u64& rem = remaining_ref_locked(s->node()->epoch());
+      rem -= std::min(rem, used);
+      for (const auto& [epoch, agg] : s->recovered_published()) {
+        lane_agg_[epoch][s->lane()] = agg;
+      }
+    }
+    for (auto& [epoch, per_lane] : lane_agg_) {
+      if (per_lane.size() == shards_.size()) combine_locked(epoch);
+    }
+  }
+
+  // ---- epoch quota (sequencer lanes on server 0) -----------------------
+
+  u64 quota_remaining(u32 epoch) {
+    std::lock_guard<std::mutex> lock(q_mu_);
+    return remaining_ref_locked(epoch);
+  }
+
+  // Reserves up to `want` submissions of `epoch`'s quota for one batch
+  // announcement (clamped to what remains; 0 means the epoch is done on
+  // this lane). Reserved quota is never returned: an aborted batch keeps
+  // its reservation because the SAME ids are re-announced on retry.
+  //
+  // Lock order: a lane calls this while holding its own shard mutex, so
+  // shard.mu_ -> q_mu_ is the one allowed order; the wake-ups below run
+  // after q_mu_ is dropped and take no shard lock at all.
+  size_t quota_acquire(u32 epoch, size_t want) {
+    size_t grant;
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      u64& rem = remaining_ref_locked(epoch);
+      grant = static_cast<size_t>(std::min<u64>(want, rem));
+      rem -= grant;
+    }
+    for (Shard* s : shards_) s->notify();  // quota moved: waiters re-check
+    return grant;
+  }
+
+  // ---- mesh repair barrier ---------------------------------------------
+
+  // Called by every lane that trips (or is interrupted into) a mesh
+  // disruption. The first arrival interrupts the transport and every
+  // lane's waits; all live lanes then park here; one is elected to run the
+  // reestablish (TcpMeshTransport::reestablish must not race any blocked
+  // reader, which the barrier guarantees); everyone returns once it
+  // finished, throwing if the rebuild failed. Each caller then re-syncs
+  // its own lane and, on failure, simply comes back here -- a new round
+  // re-interrupts whatever lanes had already moved on, so the mesh
+  // converges instead of ping-ponging.
+  void repair_mesh(const std::string& /*reason: logged by the lane*/) {
+    std::unique_lock<std::mutex> lock(rs_mu_);
+    if (!rs_active_) {
+      rs_active_ = true;
+      ++rs_round_;
+      rs_parked_ = 0;
+      rs_leader_chosen_ = false;
+      rs_error_.clear();
+      lock.unlock();
+      mesh_->interrupt();
+      for (Shard* s : shards_) s->interrupt_waiters();
+      lock.lock();
+    }
+    const u64 round = rs_round_;
+    ++rs_parked_;
+    rs_cv_.notify_all();
+    rs_cv_.wait(lock, [&] {
+      return rs_parked_ >= live_lanes_ || rs_round_ != round;
+    });
+    if (rs_round_ == round && !rs_leader_chosen_) {
+      rs_leader_chosen_ = true;
+      lock.unlock();
+      std::string err;
+      try {
+        mesh_->reestablish();
+      } catch (const std::exception& e) {
+        err = e.what();
+      }
+      for (Shard* s : shards_) s->clear_interrupt();
+      lock.lock();
+      rs_error_ = err;
+      rs_active_ = false;
+      rs_cv_.notify_all();
+    } else if (rs_round_ == round) {
+      rs_cv_.wait(lock,
+                  [&] { return !rs_active_ || rs_round_ != round; });
+    }
+    // If a newer round already started, this lane just proceeds; its next
+    // mesh operation fails fast and brings it back here to park.
+    if (rs_round_ == round && !rs_error_.empty()) {
+      throw net::TransportError("reestablish failed: " + rs_error_);
+    }
+  }
+
+  // ---- cross-lane publication (server 0) -------------------------------
+
+  // A lane's durable hook reports its epoch aggregate here; once every
+  // lane has reported an epoch, the global aggregate is the lane sum.
+  void lane_closed(size_t lane, const EpochAggregate& agg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lane_agg_[agg.epoch][lane] = agg;
+      if (lane_agg_[agg.epoch].size() == shards_.size()) {
+        combine_locked(agg.epoch);
+      }
+    }
+    cv_.notify_all();
+  }
+
+  // ---- lifecycle -------------------------------------------------------
+
+  // Runs every lane through the configured epochs on its own thread;
+  // rethrows the first lane error. Returns the last epoch's GLOBAL
+  // aggregate on server 0 (nullopt elsewhere).
+  std::optional<EpochAggregate> run_epochs() {
+    require(!shards_.empty(), "ServerRouter: need >= 1 shard");
+    {
+      std::lock_guard<std::mutex> lock(rs_mu_);
+      live_lanes_ = shards_.size();
+    }
+    std::vector<std::exception_ptr> errors(shards_.size());
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      threads.emplace_back([this, i, &errors] {
+        try {
+          shards_[i]->run_lane();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        lane_exited();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    if (self() == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!published_.empty()) return published_.rbegin()->second;
+    }
+    return std::nullopt;
+  }
+
+  // Serves client connections until stop(); call from a dedicated thread.
+  void serve_clients() {
+    while (!stopped()) {
+      reap_finished();
+      try {
+        auto sock = listener_->accept_conn(200);
+        if (!sock || stopped()) continue;  // drop late arrivals on shutdown
+        std::lock_guard<std::mutex> lock(mu_);
+        if (active_conns_ >= opts_.max_connections) continue;  // shed load
+        ++active_conns_;
+        const u64 id = next_conn_id_++;
+        // Frames from untrusted clients are bounded near the largest
+        // acceptable blob, not the transport-wide 64 MiB ceiling.
+        const size_t frame_cap = opts_.max_blob_bytes + 1024;
+        conn_threads_.emplace(
+            id, std::thread([this, id, frame_cap,
+                             s = std::move(*sock)]() mutable {
+              handle_client(net::FramedConn(std::move(s), frame_cap), id);
+            }));
+      } catch (const net::TransportError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      } catch (const std::system_error&) {
+        // Thread spawn failed (resource pressure): release the reserved
+        // slot, shed the connection, let reaping catch up.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (active_conns_ > 0) --active_conns_;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  }
+
+  // After the epochs finish, lets in-flight aggregate queries drain before
+  // shutdown, then stops the intake threads.
+  void drain_and_stop(int grace_ms = 10'000) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                   [&] { return active_conns_ == 0; });
+    }
+    stop();
+  }
+
+  // Idempotent; joins every intake thread, including ones spawned between
+  // the flag flip and the accept loop noticing it.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (;;) {
+      std::map<u64, std::thread> threads;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        threads.swap(conn_threads_);
+        finished_.clear();
+      }
+      if (threads.empty()) break;
+      for (auto& [id, t] : threads) t.join();
+    }
+  }
+
+ private:
+  bool stopped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_;
+  }
+
+  void lane_exited() {
+    {
+      std::lock_guard<std::mutex> lock(rs_mu_);
+      if (live_lanes_ > 0) --live_lanes_;
+    }
+    rs_cv_.notify_all();
+  }
+
+  // Callers hold q_mu_ (or run single-threaded setup).
+  u64& remaining_ref_locked(u32 epoch) {
+    auto [it, inserted] = quota_.try_emplace(epoch, u64{opts_.epoch_size});
+    return it->second;
+  }
+
+  // Callers hold mu_ (or run single-threaded setup).
+  void combine_locked(u32 epoch) {
+    EpochAggregate g;
+    g.epoch = epoch;
+    g.accepted = 0;
+    g.sigma.assign(afe_->k_prime(), F::zero());
+    for (const auto& [lane, a] : lane_agg_[epoch]) {
+      g.accepted += a.accepted;
+      for (size_t c = 0; c < g.sigma.size(); ++c) g.sigma[c] += a.sigma[c];
+    }
+    g.result = afe_->decode(std::span<const F>(g.sigma), g.accepted);
+    published_[epoch] = std::move(g);
+  }
+
+  void handle_client(net::FramedConn conn, u64 conn_id) {
+    try {
+      while (!stopped() && !conn.eof()) {
+        auto frame = conn.try_recv_frame(200);
+        if (!frame) continue;
+        net::Reader r(*frame);
+        const u8 type = r.u8_();
+        if (!r.ok()) break;
+        if (type == kClientSubmit) {
+          u64 cid = r.u64_();
+          auto blob = r.bytes();
+          bool ok = r.ok() && r.at_end() && blob.size() >= 8 &&
+                    blob.size() <= opts_.max_blob_bytes;
+          if (ok) {
+            net::Reader seq_r(blob);
+            const u64 seq = seq_r.u64_();
+            // The shard's submit() does WAL-before-ack; the routing hash
+            // is the one place intake picks a shard, so a given client's
+            // blobs (and replay floor) can never straddle shards.
+            Shard* shard = shards_[shard_of(cid, shards_.size())];
+            ok = shard->submit(cid, seq, std::move(blob));
+          }
+          net::Writer ack;
+          ack.u8_(kSubmitAck);
+          ack.u8_(ok ? 1 : 0);
+          conn.send_frame(ack.data());
+        } else if (type == kGetAggregate) {
+          u32 epoch = r.u32_();
+          if (!r.ok() || !r.at_end()) break;
+          // Only server 0 publishes; a follower drops the connection
+          // instead of blocking on an epoch that never appears here.
+          if (self() != 0) break;
+          auto agg = wait_published(epoch);
+          if (!agg) break;  // shutting down before the epoch closed
+          net::Writer w;
+          w.u8_(kAggregate);
+          w.u32_(agg->epoch);
+          w.u64_(agg->accepted);
+          w.field_vector<F>(std::span<const F>(agg->sigma));
+          conn.send_frame(w.data());
+        } else {
+          break;  // unknown frame: drop the connection
+        }
+      }
+    } catch (const net::TransportError&) {
+      // A misbehaving or vanished client only costs its own connection.
+    } catch (const std::exception& e) {
+      // A WAL append failure must not std::terminate the server from an
+      // intake thread; the submission goes un-acked.
+      std::fprintf(stderr, "[server %zu] intake error: %s\n", self(),
+                   e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_conns_;
+      finished_.push_back(conn_id);  // reaped by serve_clients or stop()
+    }
+    cv_.notify_all();
+  }
+
+  // Joins intake threads whose connections have closed.
+  void reap_finished() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (u64 id : finished_) {
+        auto it = conn_threads_.find(id);
+        if (it != conn_threads_.end()) {
+          done.push_back(std::move(it->second));
+          conn_threads_.erase(it);
+        }
+      }
+      finished_.clear();
+    }
+    for (auto& t : done) t.join();
+  }
+
+  std::optional<EpochAggregate> wait_published(u32 epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || published_.count(epoch) > 0; });
+    auto it = published_.find(epoch);
+    if (it == published_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const Afe* afe_;
+  net::Transport* mesh_;
+  net::TcpListener* listener_;
+  RuntimeOptions opts_;
+  std::vector<Shard*> shards_;  // indexed by lane id
+
+  // Intake / publication state (ordering: never taken under a shard lock).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  size_t active_conns_ = 0;
+  u64 next_conn_id_ = 0;
+  std::map<u64, std::thread> conn_threads_;
+  std::vector<u64> finished_;  // conn ids whose handler has returned
+  std::map<u32, std::map<size_t, EpochAggregate>> lane_agg_;
+  std::map<u32, EpochAggregate> published_;  // global (lane-summed)
+
+  // Epoch quota (server 0). shard.mu_ -> q_mu_ is the one allowed order.
+  std::mutex q_mu_;
+  std::map<u32, u64> quota_;  // epoch -> submissions not yet announced
+
+  // Repair barrier state.
+  std::mutex rs_mu_;
+  std::condition_variable rs_cv_;
+  bool rs_active_ = false;
+  bool rs_leader_chosen_ = false;
+  u64 rs_round_ = 0;
+  size_t rs_parked_ = 0;
+  size_t live_lanes_ = 0;
+  std::string rs_error_;
+};
+
+}  // namespace prio::server

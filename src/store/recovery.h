@@ -2,7 +2,7 @@
 //
 // EpochStore owns one server's --data-dir: the current WAL segment
 // (store/wal.h) and the epoch snapshot set (store/snapshot.h). The runtime
-// (server/runtime.h) appends three kinds of records as the epoch runs:
+// (server/shard.h) appends three kinds of records as the epoch runs:
 //
 //   kWalIntake      u64 client_id, u64 seq, bytes blob
 //       -- a sealed client blob accepted at intake, written BEFORE the

@@ -1,16 +1,32 @@
 // Fixed-size worker pool used by the batched verification pipeline
-// (core/deployment.h process_batch). The pool exists so per-server SNIP
-// local checks for a batch of Q submissions run concurrently while all
-// network accounting stays on the coordinating thread.
+// (core/deployment.h process_batch) and, since the sharded runtime, shared
+// by several concurrent batch lanes (server/shard.h).
 //
-// Scope is deliberately small: one blocking parallel_for at a time, no
-// task queues or futures. Work items are claimed by an atomic counter, so
-// uneven item costs (e.g. explicit-share vs PRG-seed expansion) balance
-// automatically.
+// The original pool held a single job slot: one blocking parallel_for at a
+// time, one atomic fetch_add per work item. That was fine while every
+// ServerNode owned a private pool, but a sharded server wants N lanes
+// claiming work from ONE pool concurrently, and per-item atomics on a
+// shared counter become the bottleneck long before the workers do. Two
+// changes address that:
+//
+//   * a job LIST instead of a job slot: any number of caller threads may
+//     be blocked in parallel_for simultaneously; workers drain all active
+//     jobs (oldest first, so no job starves);
+//   * chunked claiming (batch dequeue): a worker claims a contiguous range
+//     of indices per queue operation instead of one index, so the
+//     synchronization cost is amortized over the chunk while uneven item
+//     costs still balance across chunks.
+//
+// Work items still see fn(index, worker) with a stable worker id in
+// [0, size()), so per-worker scratch (e.g. SnipVerifier buffers) indexes
+// exactly as before. A pool of size 1 spawns no threads and runs inline on
+// the caller -- which also means N lanes sharing a size-1 pool each run
+// their own batches inline on their own lane thread, the natural layout
+// for one-core-per-lane deployments.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -56,49 +72,83 @@ class ThreadPool {
   // invocations have returned. `worker` is a stable id in [0, size()),
   // usable to index per-worker scratch (e.g. the batch pipeline's
   // per-thread accumulators). The first exception thrown by any invocation
-  // is rethrown here after the loop drains.
+  // is rethrown here after the job drains. Safe to call from multiple
+  // threads concurrently: each caller's job joins the shared queue and the
+  // workers interleave them.
   void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn) {
     if (n == 0) return;
     if (size_ == 1) {
       for (size_t i = 0; i < n; ++i) fn(i, 0);
       return;
     }
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    // Chunk size: small enough that uneven item costs still balance across
+    // the pool (8 chunks per worker), large enough that queue traffic is
+    // amortized for fine-grained loops.
+    job.chunk = n / (size_ * 8);
+    if (job.chunk == 0) job.chunk = 1;
     std::unique_lock<std::mutex> lock(mu_);
-    job_fn_ = &fn;
-    job_n_ = n;
-    next_index_.store(0, std::memory_order_relaxed);
-    active_workers_ = size_;
-    error_ = nullptr;
-    ++generation_;
+    jobs_.push_back(&job);
     wake_cv_.notify_all();
-    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-    job_fn_ = nullptr;
-    if (error_) std::rethrow_exception(error_);
+    done_cv_.wait(lock, [&] { return job.completed == job.n; });
+    // Fully-claimed jobs are lazily dropped by the workers' scan; make
+    // sure ours is gone before its stack frame dies.
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == &job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+    if (job.error) std::rethrow_exception(job.error);
   }
 
  private:
+  struct Job {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t n = 0;
+    size_t chunk = 1;
+    size_t next = 0;       // first unclaimed index (guarded by pool mu_)
+    size_t completed = 0;  // items finished (guarded by pool mu_)
+    std::exception_ptr error;
+  };
+
+  // Oldest job with unclaimed work, or nullptr. Callers hold mu_.
+  Job* find_claimable() {
+    for (Job* job : jobs_) {
+      if (job->next < job->n) return job;
+    }
+    return nullptr;
+  }
+
   void worker_loop(size_t worker_id) {
-    u64 seen_generation = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      Job* job = nullptr;
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || (job = find_claimable()) != nullptr; });
       if (stop_) return;
-      seen_generation = generation_;
-      const auto* fn = job_fn_;
-      const size_t n = job_n_;
+      const size_t begin = job->next;
+      const size_t count = std::min(job->chunk, job->n - begin);
+      job->next += count;
+      // The job outlives this unlocked region: `completed` cannot reach
+      // `n` while this worker's claim is outstanding, and the caller only
+      // returns (and destroys the job) once completed == n.
+      const auto* fn = job->fn;
       lock.unlock();
-      for (;;) {
-        size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
+      std::exception_ptr err;
+      for (size_t i = begin; i < begin + count; ++i) {
         try {
           (*fn)(i, worker_id);
         } catch (...) {
-          std::lock_guard<std::mutex> guard(mu_);
-          if (!error_) error_ = std::current_exception();
+          if (!err) err = std::current_exception();
         }
       }
       lock.lock();
-      if (--active_workers_ == 0) done_cv_.notify_one();
+      if (err && !job->error) job->error = err;
+      job->completed += count;
+      if (job->completed == job->n) done_cv_.notify_all();
     }
   }
 
@@ -106,15 +156,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
+  std::condition_variable wake_cv_;  // workers: new job or stop
+  std::condition_variable done_cv_;  // callers: some job completed
   bool stop_ = false;
-  u64 generation_ = 0;
-  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
-  size_t job_n_ = 0;
-  std::atomic<size_t> next_index_{0};
-  size_t active_workers_ = 0;
-  std::exception_ptr error_;
+  std::deque<Job*> jobs_;  // active jobs, oldest first
 };
 
 }  // namespace prio

@@ -1,7 +1,7 @@
 # Shared helpers for the TCP e2e scripts. Source this file.
 #
 # Port selection: each script draws its port base from its OWN disjoint
-# range (passed by the caller), so the two e2e tests can never collide with
+# range (passed by the caller), so the e2e tests can never collide with
 # each other when ctest runs them concurrently with -j; within the range,
 # every port the run will bind (peer ports base+0..n-1, client ports
 # base+100..100+n-1) is probed first, so collisions with unrelated services

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Sharded end-to-end on localhost: three prio_server processes, each running
+# FOUR shard lanes over the one peer mesh (--shards 4), with durable
+# per-shard --data-dirs. Two client processes submit concurrently (their
+# ids hash across all four shards), then server 2 is kill -9'ed MID-EPOCH
+# -- before the epoch quota is exhausted, so every lane still has work in
+# flight -- and restarted from the same --data-dir. All four of its shard
+# stores must recover, the mesh re-establishes, every lane re-syncs its own
+# position, and the epoch's published aggregate (the lane-summed sigma)
+# must be EXACTLY what a local simnet run of all 40 clients' inputs
+# produces -- the bit-identical acceptance gate lives in prio_client's
+# --expect-clients check.
+#
+# Usage: e2e_sharded.sh <prio_server> <prio_client>
+set -u
+
+SERVER_BIN=$1
+CLIENT_BIN=$2
+source "$(dirname "${BASH_SOURCE[0]}")/e2e_common.sh"
+
+LEN=12
+EPOCH_SIZE=40
+SHARDS=4
+TAMPER=5          # every 5th client's ciphertext is flipped -> rejected
+MASTER_SEED=11
+
+# This script's port range: 41000-48999 (e2e_localhost.sh uses 21000-28999,
+# e2e_crash_recovery.sh 31000-38999; disjoint, so concurrent ctest runs of
+# the three can never collide).
+PORT_RANGE_START=41000
+PORT_RANGE_SPAN=8000
+
+pids=()
+datadir=""
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+  [[ -n "$datadir" ]] && rm -rf "$datadir"
+}
+trap cleanup EXIT
+
+run_attempt() {
+  local base=$1
+  local servers
+  servers=$(servers_list "$base" 3)
+  local common=(--servers "$servers" --len "$LEN" --master-seed "$MASTER_SEED")
+  local sflags=(--epoch-size "$EPOCH_SIZE" --batch 8 --epochs 1
+                --shards "$SHARDS"
+                --announce-wait-ms 30000 --rejoin-timeout-ms 60000
+                --fsync epoch)
+
+  datadir=$(mktemp -d)
+  pids=()
+  local spid=()
+  for id in 0 1 2; do
+    "$SERVER_BIN" --id "$id" "${common[@]}" "${sflags[@]}" \
+      --data-dir "$datadir/s$id" &
+    spid[$id]=$!
+    pids+=("${spid[$id]}")
+  done
+
+  # Wave A: 24 of the epoch's 40 submissions, from two CONCURRENT client
+  # processes whose ids hash across all four shards.
+  "$CLIENT_BIN" "${common[@]}" --first-client 0 --clients 12 \
+    --tamper-every "$TAMPER" &
+  local c1=$!
+  pids+=("$c1")
+  "$CLIENT_BIN" "${common[@]}" --first-client 12 --clients 12 \
+    --tamper-every "$TAMPER" &
+  local c2=$!
+  pids+=("$c2")
+  local rc=0
+  wait "$c1" || rc=$?
+  wait "$c2" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "e2e_sharded: wave-A clients failed" >&2
+    return 1
+  fi
+
+  # Let the lanes work through (most of) the announced batches, then kill
+  # server 2 mid-epoch. The quota is at 24/40, so no lane has closed its
+  # epoch yet: every lane on the survivors trips its broken link, all lanes
+  # park on the repair barrier, and after the restart every lane re-syncs
+  # (catching the victim up by at most one batch per lane).
+  sleep 0.4
+  kill -9 "${spid[2]}" 2>/dev/null
+  wait "${spid[2]}" 2>/dev/null
+  echo "e2e_sharded: killed server 2 mid-epoch" >&2
+
+  # Sanity: the victim really was sharded (one store per lane).
+  local nshards
+  nshards=$(ls -d "$datadir/s2"/shard-* 2>/dev/null | wc -l)
+  if [[ "$nshards" -ne "$SHARDS" ]]; then
+    echo "e2e_sharded: expected $SHARDS shard dirs, found $nshards" >&2
+    return 1
+  fi
+
+  # Restart from the same data dir; per-shard recovery + rejoin are
+  # automatic.
+  "$SERVER_BIN" --id 2 "${common[@]}" "${sflags[@]}" \
+    --data-dir "$datadir/s2" &
+  spid[2]=$!
+  pids+=("${spid[2]}")
+
+  # Wave B: the remaining 16 submissions, then fetch the published epoch-0
+  # aggregate from server 0 and compare against a simnet run of ALL 40
+  # clients -- identical accept/reject decisions and counts required.
+  rc=0
+  "$CLIENT_BIN" "${common[@]}" --first-client 24 --clients 16 \
+    --tamper-every "$TAMPER" --expect-clients "$EPOCH_SIZE" || rc=$?
+
+  for id in 0 1 2; do
+    wait "${spid[$id]}" || rc=$?
+  done
+  pids=()
+  return "$rc"
+}
+
+# Probed ports can still race an unrelated service; retry on a new base.
+for attempt in 1 2; do
+  base=$(pick_port_base "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3) || {
+    echo "e2e_sharded: no free port base found" >&2
+    continue
+  }
+  if run_attempt "$base"; then
+    echo "e2e_sharded: PASS (port base $base)"
+    exit 0
+  fi
+  echo "e2e_sharded: attempt on port base $base failed; retrying" >&2
+  cleanup
+  datadir=""
+done
+echo "e2e_sharded: FAIL"
+exit 1

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "afe/bitvec_sum.h"
 #include "afe/sum.h"
@@ -55,6 +56,34 @@ TEST(ThreadPoolTest, SizeOneRunsInline) {
     order.push_back(static_cast<int>(i));
   });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// The sharded runtime shares one pool across all lane threads, so
+// parallel_for must tolerate concurrent callers: each call's indices are
+// covered exactly once, regardless of interleaving on the shared workers.
+TEST(ThreadPoolTest, ConcurrentCallersEachCoverTheirOwnIndices) {
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 5000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.parallel_for(kN, [&, c](size_t i, size_t worker) {
+          EXPECT_LT(worker, pool.size());
+          hits[c][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 5) << "caller " << c << " index " << i;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, PropagatesWorkerExceptions) {

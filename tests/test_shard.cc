@@ -1,0 +1,358 @@
+// Sharded-runtime tests: the client-id -> shard routing invariants, the
+// multi-lane router over a loopback mesh checked against the simulated
+// deployment, cross-shard replay/misroute rejection, and the TCP lane
+// multiplexer's per-lane ordering.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "afe/bitvec_sum.h"
+#include "core/client.h"
+#include "core/deployment.h"
+#include "net/tcp_transport.h"
+#include "net/transport.h"
+#include "server/router.h"
+
+namespace prio {
+namespace {
+
+using F = Fp64;
+using Afe = afe::BitVectorSum<F>;
+using Node = ServerNode<F, Afe>;
+using Router = server::ServerRouter<F, Afe>;
+
+constexpr size_t kServers = 3;
+constexpr u64 kMasterSeed = 91;
+
+// ---------------------------------------------------------------------------
+// shard_of: the one routing function every server (and the client-facing
+// router) must agree on.
+// ---------------------------------------------------------------------------
+
+TEST(ShardOfTest, SameClientAlwaysSameShardAndInRange) {
+  for (u64 cid : {u64{0}, u64{1}, u64{7}, u64{123456789}, ~u64{0}}) {
+    EXPECT_EQ(server::shard_of(cid, 1), 0u);
+    for (size_t shards : {size_t{2}, size_t{3}, size_t{4}, size_t{255}}) {
+      const size_t s = server::shard_of(cid, shards);
+      EXPECT_LT(s, shards);
+      // Stable: the replay floor for a client lives in exactly one shard,
+      // which only holds if re-hashing can never move the client.
+      EXPECT_EQ(server::shard_of(cid, shards), s);
+    }
+  }
+}
+
+TEST(ShardOfTest, SequentialIdsSpreadAcrossShards) {
+  // Clients get sequential ids in practice; the splitmix finalizer must
+  // still spread them instead of striping them into one shard.
+  constexpr size_t kShards = 4;
+  constexpr u64 kIds = 4000;
+  std::vector<size_t> hist(kShards, 0);
+  for (u64 cid = 0; cid < kIds; ++cid) {
+    ++hist[server::shard_of(cid, kShards)];
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(hist[s], kIds / kShards / 2) << "shard " << s;
+    EXPECT_LT(hist[s], kIds / kShards * 2) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-lane router over a loopback mesh
+// ---------------------------------------------------------------------------
+
+// One server process' worth of sharded runtime: base transport, router,
+// and a node + shard runtime per lane -- the same wiring prio_server.cc
+// does, minus sockets and stores.
+struct ShardedServer {
+  ShardedServer(const Afe& afe, net::LoopbackMesh& mesh, size_t self,
+                size_t nshards, server::RuntimeOptions opts)
+      : base(&mesh, self),
+        router(&afe, &base, /*client_listener=*/nullptr, opts) {
+    for (size_t l = 0; l < nshards; ++l) {
+      lanes.push_back(std::make_unique<net::LaneTransport>(&base, l));
+      ServerNodeConfig cfg;
+      cfg.num_servers = mesh.num_nodes();
+      cfg.self = self;
+      cfg.master_seed = kMasterSeed;
+      cfg.lane = l;
+      nodes.push_back(std::make_unique<Node>(&afe, cfg, lanes.back().get()));
+      shards.push_back(std::make_unique<Router::Shard>(
+          nodes.back().get(), lanes.back().get(), &router, opts, nshards));
+      router.add_shard(shards.back().get());
+    }
+    router.finish_setup();
+  }
+
+  // What the router's intake path does with a client frame: hash the id,
+  // hand the blob to that shard.
+  void submit(u64 cid, u64 seq, std::vector<u8> blob) {
+    shards[server::shard_of(cid, shards.size())]->submit(cid, seq,
+                                                         std::move(blob));
+  }
+
+  net::LoopbackTransport base;
+  Router router;
+  std::vector<std::unique_ptr<net::LaneTransport>> lanes;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<Router::Shard>> shards;
+};
+
+struct Workload {
+  std::vector<Submission> subs;
+  std::vector<u8> expected;  // 1 = must be accepted
+};
+
+Workload make_workload(const Afe& afe, size_t n) {
+  PrioClient<F, Afe> encoder(&afe, kServers, kMasterSeed);
+  SecureRng rng(321);
+  Workload w;
+  const size_t len = afe.length();
+  for (u64 cid = 0; cid < n; ++cid) {
+    std::vector<u8> bits(len, 0);
+    bits[cid % len] = 1;
+    auto blobs = encoder.upload(bits, cid, rng);
+    u8 expect = 1;
+    if (cid % 4 == 3) {
+      blobs[cid % kServers][12] ^= 1;  // tampered ciphertext -> reject
+      expect = 0;
+    }
+    w.subs.push_back({cid, std::move(blobs)});
+    w.expected.push_back(expect);
+  }
+  return w;
+}
+
+// The blob's cleartext prefix is the submission counter (core/submission.h);
+// the intake path uses it as the buffer key, identical on every server.
+u64 blob_seq(const std::vector<u8>& blob) {
+  net::Reader r(blob);
+  return r.u64_();
+}
+
+// Two lanes, three servers: the sharded runtime's global aggregate must be
+// bit-identical to the simulated single-pipeline deployment over the same
+// submissions -- lane 1 runs a different r schedule under lane-scoped
+// channel keys, but field addition commutes, so the lane-summed sigma is
+// the same. A replayed blob (same payload, bumped transport-level seq) is
+// routed to the same shard and must be rejected there, never double
+// counted.
+TEST(ShardedRouterTest, TwoLanesMatchSimnetAndRejectReplay) {
+  Afe afe(8);
+  constexpr size_t kShards = 2;
+  auto w = make_workload(afe, 24);
+
+  DeploymentOptions sim_opts;
+  sim_opts.num_servers = kServers;
+  sim_opts.master_seed = kMasterSeed;
+  PrioDeployment<F, Afe> sim(&afe, sim_opts);
+  sim.process_batch(std::span<const Submission>(w.subs));
+  auto sim_result = sim.publish();
+
+  server::RuntimeOptions opts;
+  opts.epoch_size = w.subs.size() + 1;  // +1: the replayed submission
+  opts.max_batch = 8;
+  opts.epochs = 1;
+  opts.announce_wait_ms = 20'000;
+  opts.assemble_wait_ms = 5'000;
+  opts.linger_ms = 25;
+
+  net::LoopbackMesh mesh(kServers, /*recv_timeout_ms=*/20'000, kShards);
+  std::vector<std::unique_ptr<ShardedServer>> servers;
+  for (size_t i = 0; i < kServers; ++i) {
+    servers.push_back(
+        std::make_unique<ShardedServer>(afe, mesh, i, kShards, opts));
+  }
+
+  // Every server gets its own sealed view of every submission, plus one
+  // replay of an honest client's blob under a bumped intake seq.
+  const u64 replay_cid = 1;
+  for (size_t i = 0; i < kServers; ++i) {
+    for (const auto& sub : w.subs) {
+      servers[i]->submit(sub.client_id, blob_seq(sub.blobs[i]),
+                         sub.blobs[i]);
+    }
+    servers[i]->submit(replay_cid, blob_seq(w.subs[replay_cid].blobs[i]) + 1,
+                       w.subs[replay_cid].blobs[i]);
+  }
+
+  std::optional<Node::EpochAggregate> agg;
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kServers; ++i) {
+    threads.emplace_back([&, i] {
+      auto a = servers[i]->router.run_epochs();
+      if (i == 0) agg = std::move(a);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->accepted, sim.accepted());  // replay not double counted
+  EXPECT_EQ(agg->result, sim_result);
+  // Every server processed all 25 announced submissions, split over lanes.
+  for (size_t i = 0; i < kServers; ++i) {
+    u64 processed = 0;
+    for (const auto& n : servers[i]->nodes) processed += n->processed();
+    EXPECT_EQ(processed, w.subs.size() + 1) << "server " << i;
+  }
+}
+
+// A blob smuggled into the WRONG shard's intake (bypassing the router's
+// hash, as a compromised intake path might) is named by that lane's next
+// announcement -- and every follower rejects the announcement, because the
+// id does not hash to the lane. The mesh fails loudly on all servers; the
+// misrouted submission is never aggregated anywhere.
+TEST(ShardedRouterTest, MisroutedSubmissionFailsLoudlyEverywhere) {
+  Afe afe(6);
+  constexpr size_t kShards = 2;
+  auto w = make_workload(afe, 4);
+
+  // A client id that hashes to shard 0, to be injected into shard 1.
+  u64 misrouted_cid = 1000;
+  while (server::shard_of(misrouted_cid, kShards) != 0) ++misrouted_cid;
+  PrioClient<F, Afe> encoder(&afe, kServers, kMasterSeed);
+  SecureRng rng(77);
+  auto mis_blobs =
+      encoder.upload(std::vector<u8>(afe.length(), 0), misrouted_cid, rng);
+
+  server::RuntimeOptions opts;
+  opts.epoch_size = w.subs.size() + 1;
+  opts.max_batch = 8;
+  opts.epochs = 1;
+  opts.announce_wait_ms = 5'000;
+  opts.assemble_wait_ms = 500;
+  opts.linger_ms = 25;
+  opts.max_resyncs = 1;  // loopback cannot reestablish; fail fast
+
+  net::LoopbackMesh mesh(kServers, /*recv_timeout_ms=*/1'000, kShards);
+  std::vector<std::unique_ptr<ShardedServer>> servers;
+  for (size_t i = 0; i < kServers; ++i) {
+    servers.push_back(
+        std::make_unique<ShardedServer>(afe, mesh, i, kShards, opts));
+  }
+  for (size_t i = 0; i < kServers; ++i) {
+    for (const auto& sub : w.subs) {
+      servers[i]->submit(sub.client_id, blob_seq(sub.blobs[i]),
+                         sub.blobs[i]);
+    }
+    // Injected past the router's hash, into the wrong shard, everywhere.
+    servers[i]->shards[1]->submit(misrouted_cid, blob_seq(mis_blobs[i]),
+                                  mis_blobs[i]);
+  }
+
+  std::vector<int> failed(kServers, 0);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kServers; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        servers[i]->router.run_epochs();
+      } catch (const std::exception&) {
+        failed[i] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < kServers; ++i) {
+    EXPECT_EQ(failed[i], 1) << "server " << i << " accepted a misroute";
+  }
+  // The misrouted blob never reached any node's accumulator.
+  for (size_t i = 0; i < kServers; ++i) {
+    EXPECT_EQ(servers[i]->nodes[1]->accepted(), 0u) << "server " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TCP lane multiplexing
+// ---------------------------------------------------------------------------
+
+// Interleaved traffic on three lanes over one framed connection, consumed
+// by three concurrent per-lane readers: each lane sees its own frames, in
+// order, with none lost to another lane's reader.
+TEST(TcpLaneMuxTest, InterleavedLanesDemuxInOrderAcrossThreads) {
+  constexpr size_t kLanes = 3;
+  constexpr size_t kPerLane = 16;
+  std::vector<std::unique_ptr<net::TcpListener>> listeners;
+  std::vector<net::TcpMeshTransport::PeerAddr> addrs;
+  for (size_t i = 0; i < 2; ++i) {
+    listeners.push_back(std::make_unique<net::TcpListener>(0));
+    addrs.push_back({"127.0.0.1", listeners.back()->port()});
+  }
+  const std::vector<u8> secret = master_seed_bytes(kMasterSeed);
+
+  std::vector<std::thread> nodes;
+  for (size_t i = 0; i < 2; ++i) {
+    nodes.emplace_back([&, i] {
+      net::TcpMeshTransport mesh(i, addrs, listeners[i].get(), secret,
+                                 10'000, 10'000, kLanes);
+      if (i == 0) {
+        // Round-robin across lanes, so consecutive frames on the wire
+        // belong to different lanes.
+        for (size_t k = 0; k < kLanes * kPerLane; ++k) {
+          const size_t lane = k % kLanes;
+          mesh.send_lane(lane, 1,
+                         {static_cast<u8>(lane),
+                          static_cast<u8>(k / kLanes)},
+                         1);
+        }
+        for (size_t l = 0; l < kLanes; ++l) {
+          EXPECT_EQ(mesh.recv_lane(l, 1),
+                    (std::vector<u8>{static_cast<u8>(l), 0xAC}));
+        }
+      } else {
+        std::vector<std::thread> readers;
+        for (size_t l = 0; l < kLanes; ++l) {
+          readers.emplace_back([&, l] {
+            for (size_t k = 0; k < kPerLane; ++k) {
+              auto f = mesh.recv_lane(l, 0);
+              ASSERT_EQ(f.size(), 2u);
+              EXPECT_EQ(f[0], static_cast<u8>(l));
+              EXPECT_EQ(f[1], static_cast<u8>(k));  // per-lane order holds
+            }
+            mesh.send_lane(l, 0, {static_cast<u8>(l), 0xAC}, 1);
+          });
+        }
+        for (auto& r : readers) r.join();
+      }
+    });
+  }
+  for (auto& t : nodes) t.join();
+}
+
+// interrupt() must wake a reader blocked in recv (it would otherwise sit
+// out its full timeout) and fail fast until the links are re-established.
+TEST(TcpLaneMuxTest, InterruptWakesBlockedLaneReader) {
+  std::vector<std::unique_ptr<net::TcpListener>> listeners;
+  std::vector<net::TcpMeshTransport::PeerAddr> addrs;
+  for (size_t i = 0; i < 2; ++i) {
+    listeners.push_back(std::make_unique<net::TcpListener>(0));
+    addrs.push_back({"127.0.0.1", listeners.back()->port()});
+  }
+  const std::vector<u8> secret = master_seed_bytes(kMasterSeed);
+  std::optional<net::TcpMeshTransport> peer;
+  std::thread other([&] {
+    peer.emplace(1, addrs, listeners[1].get(), secret, 10'000, 60'000,
+                 size_t{2});
+  });
+  net::TcpMeshTransport mesh(0, addrs, listeners[0].get(), secret, 10'000,
+                             60'000, 2);
+  other.join();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread reader([&] {
+    EXPECT_THROW(mesh.recv_lane(1, 1), net::TransportError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  mesh.interrupt();
+  reader.join();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            30'000);  // nowhere near the 60 s recv timeout
+  // Until reestablish, every lane operation fails fast.
+  EXPECT_THROW(mesh.send_lane(0, 1, {1}, 1), net::TransportError);
+}
+
+}  // namespace
+}  // namespace prio
