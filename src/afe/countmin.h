@@ -42,9 +42,16 @@ class CountMinSketch {
   };
 
   CountMinSketch(double epsilon, double delta, u64 hash_seed = 0x70726f)
-      : rows_(static_cast<size_t>(std::ceil(std::log(1.0 / delta)))),
-        cols_(static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon))),
-        circuit_(make_circuit(rows_, cols_)) {
+      : CountMinSketch(
+            static_cast<size_t>(std::ceil(std::log(1.0 / delta))),
+            static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon)),
+            hash_seed) {}
+
+  // Direct geometry, as the runtime spec strings name it (registry.h:
+  // "countmin:d=rows,w=cols"); the (epsilon, delta) constructor above is
+  // sugar for the analysis-driven sizing.
+  CountMinSketch(size_t rows, size_t cols, u64 hash_seed = 0x70726f)
+      : rows_(rows), cols_(cols), circuit_(make_circuit(rows_, cols_)) {
     require(rows_ >= 1 && cols_ >= 1, "CountMinSketch: bad parameters");
     // Public pairwise-independent hash keys derived from the seed.
     std::array<u8, 32> seed{};

@@ -11,10 +11,69 @@
 
 #include <vector>
 
+#include "afe/afe.h"
 #include "crypto/rng.h"
 #include "util/common.h"
 
 namespace prio::afe {
+
+// XOR aggregation lifted into the prime field, so the GF(2) substrate can
+// ride the one SNIP-verified server pipeline (FieldAfe shape): each bit of
+// the client's lambda-bit string becomes a 0/1 field element, the servers
+// sum positions in F, and -- as long as fewer than |F| clients contribute,
+// which the field guarantees by orders of magnitude -- the parity of each
+// aggregated counter IS the XOR of that position across all clients.
+// Decode reduces each counter mod 2 and repacks the word. The boolean
+// family below (OR/AND/MIN/MAX/set ops) layers on this exactly as it does
+// on the native XOR substrate: clients feed their randomized encodings in
+// as the bit string. Valid checks each component is a bit, so a cheating
+// client can flip positions but never corrupt counters, matching the
+// paper's "robust for free" observation for GF(2) AFEs.
+template <PrimeField F>
+class Gf2Xor {
+ public:
+  using Field = F;
+  using Input = u64;   // lambda-bit string packed into a word
+  using Result = u64;  // XOR of all clients' strings
+
+  explicit Gf2Xor(size_t bits) : bits_(bits), circuit_(make_circuit(bits)) {
+    require(bits >= 1 && bits <= 64, "Gf2Xor: bits out of range");
+  }
+
+  size_t bits() const { return bits_; }
+  size_t k() const { return bits_; }
+  size_t k_prime() const { return bits_; }
+
+  std::vector<F> encode(Input x) const {
+    require(bits_ == 64 || x < (u64{1} << bits_),
+            "Gf2Xor::encode: out of range");
+    std::vector<F> out;
+    out.reserve(bits_);
+    append_bits(out, x, bits_);
+    return out;
+  }
+
+  const Circuit<F>& valid_circuit() const { return circuit_; }
+
+  Result decode(std::span<const F> sigma, size_t /*n_clients*/) const {
+    require(sigma.size() >= bits_, "Gf2Xor::decode: sigma too short");
+    u64 out = 0;
+    for (size_t i = 0; i < bits_; ++i) {
+      out |= (sigma[i].to_u64() & 1) << i;
+    }
+    return out;
+  }
+
+ private:
+  static Circuit<F> make_circuit(size_t bits) {
+    CircuitBuilder<F> b(bits);
+    for (size_t i = 0; i < bits; ++i) b.assert_bit(b.input(i));
+    return b.build();
+  }
+
+  size_t bits_;
+  Circuit<F> circuit_;
+};
 
 // Dense bit vector with XOR aggregation.
 class BitVec {

@@ -132,6 +132,20 @@ class PrioDeployment {
   size_t accepted() const { return accepted_; }
   size_t processed() const { return processed_; }
 
+  // The servers' current summed accumulators, without publish()'s network
+  // accounting. The deployment accumulates across batches, so an oracle
+  // checking a PER-EPOCH aggregate (the multi-process runtime resets its
+  // accumulator every epoch) diffs this at the epoch boundaries.
+  std::vector<F> sigma_now() const {
+    std::vector<F> sigma(afe_->k_prime(), F::zero());
+    for (const auto& srv : servers_) {
+      for (size_t c = 0; c < afe_->k_prime(); ++c) {
+        sigma[c] += srv.accumulator[c];
+      }
+    }
+    return sigma;
+  }
+
   // -------------------------------------------------------------------
   // Client side. Returns one sealed blob per server. Shares 0..s-2 are PRG
   // seeds; share s-1 is explicit (Appendix I compression). Each call

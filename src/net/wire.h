@@ -10,6 +10,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,11 @@ class Writer {
   void u16_(u16 v) { put_le(v, 2); }
   void u32_(u32 v) { put_le(v, 4); }
   void u64_(u64 v) { put_le(v, 8); }
+
+  void str_(std::string_view s) {
+    u32_(static_cast<u32>(s.size()));
+    for (char c : s) buf_.push_back(static_cast<u8>(c));
+  }
 
   void bytes(std::span<const u8> b) {
     u32_(static_cast<u32>(b.size()));
@@ -107,6 +113,17 @@ class Reader {
   u16 u16_() { return static_cast<u16>(get_le(2)); }
   u32 u32_() { return static_cast<u32>(get_le(4)); }
   u64 u64_() { return get_le(8); }
+
+  std::string str_(size_t max_len = 4096) {
+    u32 len = u32_();
+    if (!ok_ || len > max_len || remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+  }
 
   std::vector<u8> bytes() {
     u32 len = u32_();

@@ -1,13 +1,18 @@
-// Minimal flag parsing shared by the prio_server and prio_client binaries:
-// --key value pairs and the --servers endpoint list.
+// Flag parsing shared by the prio_server, prio_client, and prio_loadgen
+// binaries: --key value pairs, the --servers endpoint list, and the common
+// deployment configuration (--afe / deprecated --len, --master-seed,
+// --shards) -- one place knows the flag vocabulary, so the three binaries
+// cannot drift apart on how a deployment is named.
 #pragma once
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "afe/registry.h"
 #include "net/tcp_transport.h"
 #include "util/common.h"
 
@@ -29,8 +34,14 @@ class Flags {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       require(arg.rfind("--", 0) == 0, "flags must look like --key value");
-      require(i + 1 < argc, "flag is missing its value");
-      values_[arg.substr(2)] = argv[++i];
+      // A flag followed by another flag (or by nothing) is boolean sugar:
+      // "--smoke" stores "1". Every value-taking flag in the vocabulary
+      // has a value that cannot start with "--".
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2)] = argv[++i];
+      }
     }
   }
 
@@ -46,6 +57,18 @@ class Flags {
   }
 
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Strict double parse for rate/fraction flags.
+  double real(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    require(errno == 0 && end != it->second.c_str() && *end == '\0',
+            "flag value is not a valid number");
+    return v;
+  }
 
   // Strict decimal parse: a typo like "4o" or an overflow is an error, not
   // a silent zero.
@@ -99,6 +122,46 @@ inline std::vector<net::TcpMeshTransport::PeerAddr> peer_addrs(
   out.reserve(eps.size());
   for (const auto& ep : eps) out.push_back({ep.host, ep.peer_port});
   return out;
+}
+
+// The deployment's AFE, from --afe SPEC (afe/registry.h grammar). The
+// pre-catalogue --len N flag is still accepted as sugar for
+// --afe bitvec_sum:len=N; it is deprecated and the two are mutually
+// exclusive so a contradictory invocation fails instead of guessing.
+// Returns the spec AS GIVEN (with_afe normalizes it against the
+// catalogue's defaults and ranges).
+inline afe::AfeSpec resolve_afe_spec(const Flags& flags) {
+  if (flags.has("len")) {
+    require(!flags.has("afe"),
+            "--len is deprecated sugar for --afe bitvec_sum:len=N; "
+            "give one of --afe/--len, not both");
+    std::fprintf(stderr,
+                 "note: --len is deprecated; use --afe bitvec_sum:len=%llu\n",
+                 static_cast<unsigned long long>(flags.num("len", 16)));
+    return afe::parse_afe_spec("bitvec_sum:len=" +
+                               std::to_string(flags.num("len", 16)));
+  }
+  return afe::parse_afe_spec(flags.str("afe", "bitvec_sum:len=16"));
+}
+
+// Deployment parameters every binary agrees on (all servers and all
+// clients of one deployment must be launched with equal values).
+struct CommonConfig {
+  std::vector<ServerEndpoint> endpoints;
+  u64 master_seed = 1;
+  size_t shards = 1;
+  afe::AfeSpec spec;  // as given; normalize via afe::with_afe
+};
+
+inline CommonConfig parse_common_config(const Flags& flags) {
+  CommonConfig cfg;
+  cfg.endpoints = parse_server_list(
+      flags.str("servers", "127.0.0.1:9101:9201,127.0.0.1:9102:9202"));
+  cfg.master_seed = flags.num("master-seed", 1);
+  cfg.shards = flags.num("shards", 1);
+  require(cfg.shards >= 1 && cfg.shards <= 255, "--shards must be 1..255");
+  cfg.spec = resolve_afe_spec(flags);
+  return cfg;
 }
 
 }  // namespace prio::server

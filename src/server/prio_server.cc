@@ -1,22 +1,25 @@
 // prio_server: one Prio server as an OS process.
 //
-// Runs the full distributed pipeline for the paper's throughput workload
-// (bit-vector sum over Fp64): accepts sealed client submissions over TCP,
+// Runs the full distributed pipeline for any AFE in the runtime catalogue
+// (afe/registry.h): accepts sealed client submissions over TCP,
 // coordinates count-delimited epochs with its peer servers, runs the
 // batched four-round SNIP verification protocol over the server mesh, and
-// (on server 0) publishes each epoch's aggregate to asking clients.
+// (on server 0) publishes each epoch's typed aggregate to asking clients.
 //
 // A three-server deployment on localhost:
 //
 //   SERVERS=127.0.0.1:9101:9201,127.0.0.1:9102:9202,127.0.0.1:9103:9203
-//   ./prio_server --id 0 --servers $SERVERS --len 16 --epoch-size 40 &
-//   ./prio_server --id 1 --servers $SERVERS --len 16 --epoch-size 40 &
-//   ./prio_server --id 2 --servers $SERVERS --len 16 --epoch-size 40 &
-//   ./prio_client --servers $SERVERS --len 16 --clients 40 --expect-clients 40
+//   ./prio_server --id 0 --servers $SERVERS --afe countmin:w=256,d=4 \
+//       --epoch-size 40 &
+//   ... same for --id 1 and --id 2 ...
+//   ./prio_client --servers $SERVERS --afe countmin:w=256,d=4 \
+//       --clients 40 --expect-clients 40
 //
 // Every server must be started with the same --servers list, --master-seed,
-// --len, --epoch-size, --batch, --epochs, and --shards. Exit code 0 means
-// all epochs completed (and, on server 0, were published).
+// --afe, --epoch-size, --batch, --epochs, and --shards (--afe agreement is
+// enforced at mesh sync; the rest fail loudly in-protocol). --len N is
+// deprecated sugar for --afe bitvec_sum:len=N. Exit code 0 means all
+// epochs completed (and, on server 0, were published).
 //
 // Sharding (--shards N, default 1): the runtime splits into N ShardRuntimes
 // behind a ServerRouter (server/router.h) -- client ids are hashed to a
@@ -39,176 +42,194 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
 
-#include "afe/bitvec_sum.h"
+#include "afe/registry.h"
 #include "server/cli.h"
 #include "server/router.h"
 #include "store/recovery.h"
 
 using namespace prio;
 
+namespace {
+
+using F = Fp64;
+
+// The whole runtime for one concrete AFE type; instantiated once per
+// catalogue entry by the with_afe dispatch in main.
+template <typename Afe>
+int run_server(const Afe& afe, const afe::AfeSpec& spec,
+               const server::Flags& flags,
+               const server::CommonConfig& common) {
+  const auto& endpoints = common.endpoints;
+  const size_t id = flags.num("id", 0);
+  require(id < endpoints.size(), "--id out of range of --servers");
+  const size_t shards = common.shards;
+
+  ServerNodeConfig base_cfg;
+  base_cfg.num_servers = endpoints.size();
+  base_cfg.self = id;
+  base_cfg.master_seed = common.master_seed;
+  base_cfg.refresh_every = flags.num("refresh-every", 1024);
+  base_cfg.batch_threads = flags.num("threads", 1);
+
+  server::RuntimeOptions opts;
+  opts.epoch_size = flags.num("epoch-size", 64);
+  opts.max_batch = flags.num("batch", 64);
+  opts.epochs = static_cast<u32>(flags.num("epochs", 1));
+  opts.announce_wait_ms =
+      static_cast<int>(flags.num("announce-wait-ms", 60'000));
+  opts.linger_ms = static_cast<int>(flags.num("linger-ms", 50));
+  opts.afe_spec = spec.canonical();
+
+  // Durable epoch stores (optional), one per shard: opened before the
+  // mesh so a corrupt directory fails fast, recovered after the nodes
+  // exist. One shard keeps the flat pre-sharding layout.
+  std::vector<std::unique_ptr<store::EpochStore>> stores(shards);
+  if (flags.has("data-dir")) {
+    const auto policy = store::parse_fsync_policy(flags.str("fsync", "epoch"));
+    require(policy.has_value(), "--fsync must be always, epoch, or off");
+    const std::string root = flags.str("data-dir", "");
+    // EpochStore mkdirs only its own directory; with per-shard subdirs
+    // the root has to exist first.
+    if (shards > 1) ::mkdir(root.c_str(), 0777);
+    for (size_t l = 0; l < shards; ++l) {
+      std::string dir = root;
+      if (shards > 1) {
+        char sub[32];
+        std::snprintf(sub, sizeof(sub), "/shard-%02u",
+                      static_cast<unsigned>(l));
+        dir += sub;
+      }
+      stores[l] = std::make_unique<store::EpochStore>(dir, *policy);
+    }
+  }
+
+  // Listen before dialing, so peers starting in any order can connect.
+  // Binds all interfaces by default so the mesh can span hosts (the
+  // --servers entries carry the routable addresses peers dial).
+  const std::string bind_host = flags.str("bind", "0.0.0.0");
+  net::TcpListener peer_listener(endpoints[id].peer_port, bind_host);
+  net::TcpListener client_listener(endpoints[id].client_port, bind_host);
+  std::fprintf(stderr,
+               "[server %zu] afe=%s peers=%u clients=%u shards=%zu; joining "
+               "mesh...\n",
+               id, opts.afe_spec.c_str(), peer_listener.port(),
+               client_listener.port(), shards);
+  // Followers block in recv for the leader's next announcement while the
+  // leader may legitimately wait announce_wait_ms for a batch to fill, so
+  // the mesh recv timeout must comfortably exceed that.
+  const std::vector<u8> mesh_secret = master_seed_bytes(base_cfg.master_seed);
+  net::TcpMeshTransport mesh(
+      id, server::peer_addrs(endpoints), &peer_listener, mesh_secret,
+      static_cast<int>(flags.num("mesh-timeout-ms", 30'000)),
+      static_cast<int>(
+          flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)),
+      shards);
+  // A crashed peer needs time to restart and redial before a surviving
+  // server gives up on re-establishing the mesh.
+  mesh.set_reestablish_timeout_ms(
+      static_cast<int>(flags.num("rejoin-timeout-ms", 120'000)));
+  std::fprintf(stderr, "[server %zu] mesh up (%zu servers, %zu lanes)\n", id,
+               mesh.num_nodes(), mesh.lanes());
+
+  // One node + shard runtime per lane, all over single-lane views of the
+  // shared mesh. The verification pool is shared across lanes (the
+  // work-queue pool takes concurrent parallel_for callers); each lane's
+  // channel keys and r schedule are lane-scoped inside the node.
+  ThreadPool pool(base_cfg.batch_threads);
+  using Router = server::ServerRouter<F, Afe>;
+  Router router(&afe, &mesh, &client_listener, opts);
+  std::vector<std::unique_ptr<net::LaneTransport>> lanes;
+  std::vector<std::unique_ptr<ServerNode<F, Afe>>> nodes;
+  std::vector<std::unique_ptr<typename Router::Shard>> shard_runtimes;
+  for (size_t l = 0; l < shards; ++l) {
+    lanes.push_back(std::make_unique<net::LaneTransport>(&mesh, l));
+    ServerNodeConfig cfg = base_cfg;
+    cfg.lane = l;
+    cfg.shared_pool = &pool;
+    nodes.push_back(
+        std::make_unique<ServerNode<F, Afe>>(&afe, cfg, lanes.back().get()));
+    shard_runtimes.push_back(std::make_unique<typename Router::Shard>(
+        nodes.back().get(), lanes.back().get(), &router, opts, shards,
+        stores[l].get()));
+    if (stores[l]) {
+      auto rec = store::recover_node<F, Afe>(nodes.back().get(), &afe,
+                                             stores[l].get(),
+                                             opts.max_buffered);
+      if (!rec.ok) {
+        std::fprintf(stderr,
+                     "prio_server: recovery failed (shard %zu): %s\n", l,
+                     rec.error.c_str());
+        return 1;
+      }
+      if (rec.used_snapshot || rec.batches_applied > 0 ||
+          rec.intake_records > 0) {
+        std::fprintf(
+            stderr,
+            "[server %zu shard %zu] recovered: epoch=%u processed=%llu "
+            "accepted=%llu (%llu batches, %llu intake records, %u torn "
+            "tails truncated)\n",
+            id, l, nodes.back()->epoch(),
+            static_cast<unsigned long long>(nodes.back()->processed()),
+            static_cast<unsigned long long>(nodes.back()->accepted()),
+            static_cast<unsigned long long>(rec.batches_applied),
+            static_cast<unsigned long long>(rec.intake_records),
+            rec.truncated_tails);
+      }
+      shard_runtimes.back()->seed_recovered(std::move(rec));
+    }
+    router.add_shard(shard_runtimes.back().get());
+  }
+  router.finish_setup();
+  std::thread intake([&] { router.serve_clients(); });
+
+  // The intake thread must be joined on every path out of the epoch loop;
+  // letting an exception unwind past a joinable std::thread would turn a
+  // reportable protocol failure into std::terminate.
+  int rc = 0;
+  try {
+    auto last = router.run_epochs();
+    if (last) {
+      std::printf("[server %zu] epoch %u published: accepted=%llu sigma=[",
+                  id, last->epoch,
+                  static_cast<unsigned long long>(last->accepted));
+      const size_t show = std::min<size_t>(last->sigma.size(), 8);
+      for (size_t i = 0; i < show; ++i) {
+        std::printf("%s%llu", i ? " " : "",
+                    static_cast<unsigned long long>(last->sigma[i].to_u64()));
+      }
+      std::printf("%s]\n", last->sigma.size() > show ? " ..." : "");
+      std::fflush(stdout);
+    }
+    router.drain_and_stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
+    router.stop();
+    rc = 1;
+  }
+  intake.join();
+  u64 processed = 0;
+  for (const auto& n : nodes) processed += n->processed();
+  std::fprintf(stderr, "[server %zu] done (%llu submissions processed)\n",
+               id, static_cast<unsigned long long>(processed));
+  return rc;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using F = Fp64;
-  using Afe = afe::BitVectorSum<F>;
   try {
     server::Flags flags(argc, argv);
-    const auto endpoints = server::parse_server_list(
-        flags.str("servers", "127.0.0.1:9101:9201,127.0.0.1:9102:9202"));
-    const size_t id = flags.num("id", 0);
-    require(id < endpoints.size(), "--id out of range of --servers");
-    const size_t shards = flags.num("shards", 1);
-    require(shards >= 1 && shards <= 255, "--shards must be 1..255");
-
-    Afe afe(flags.num("len", 16));
-    ServerNodeConfig base_cfg;
-    base_cfg.num_servers = endpoints.size();
-    base_cfg.self = id;
-    base_cfg.master_seed = flags.num("master-seed", 1);
-    base_cfg.refresh_every = flags.num("refresh-every", 1024);
-    base_cfg.batch_threads = flags.num("threads", 1);
-
-    server::RuntimeOptions opts;
-    opts.epoch_size = flags.num("epoch-size", 64);
-    opts.max_batch = flags.num("batch", 64);
-    opts.epochs = static_cast<u32>(flags.num("epochs", 1));
-    opts.announce_wait_ms =
-        static_cast<int>(flags.num("announce-wait-ms", 60'000));
-    opts.linger_ms = static_cast<int>(flags.num("linger-ms", 50));
-
-    // Durable epoch stores (optional), one per shard: opened before the
-    // mesh so a corrupt directory fails fast, recovered after the nodes
-    // exist. One shard keeps the flat pre-sharding layout.
-    std::vector<std::unique_ptr<store::EpochStore>> stores(shards);
-    if (flags.has("data-dir")) {
-      const auto policy = store::parse_fsync_policy(flags.str("fsync", "epoch"));
-      require(policy.has_value(), "--fsync must be always, epoch, or off");
-      const std::string root = flags.str("data-dir", "");
-      // EpochStore mkdirs only its own directory; with per-shard subdirs
-      // the root has to exist first.
-      if (shards > 1) ::mkdir(root.c_str(), 0777);
-      for (size_t l = 0; l < shards; ++l) {
-        std::string dir = root;
-        if (shards > 1) {
-          char sub[32];
-          std::snprintf(sub, sizeof(sub), "/shard-%02u",
-                        static_cast<unsigned>(l));
-          dir += sub;
-        }
-        stores[l] = std::make_unique<store::EpochStore>(dir, *policy);
-      }
-    }
-
-    // Listen before dialing, so peers starting in any order can connect.
-    // Binds all interfaces by default so the mesh can span hosts (the
-    // --servers entries carry the routable addresses peers dial).
-    const std::string bind_host = flags.str("bind", "0.0.0.0");
-    net::TcpListener peer_listener(endpoints[id].peer_port, bind_host);
-    net::TcpListener client_listener(endpoints[id].client_port, bind_host);
-    std::fprintf(stderr,
-                 "[server %zu] peers=%u clients=%u shards=%zu; joining "
-                 "mesh...\n",
-                 id, peer_listener.port(), client_listener.port(), shards);
-    // Followers block in recv for the leader's next announcement while the
-    // leader may legitimately wait announce_wait_ms for a batch to fill, so
-    // the mesh recv timeout must comfortably exceed that.
-    const std::vector<u8> mesh_secret = master_seed_bytes(base_cfg.master_seed);
-    net::TcpMeshTransport mesh(
-        id, server::peer_addrs(endpoints), &peer_listener, mesh_secret,
-        static_cast<int>(flags.num("mesh-timeout-ms", 30'000)),
-        static_cast<int>(
-            flags.num("recv-timeout-ms", opts.announce_wait_ms + 60'000)),
-        shards);
-    // A crashed peer needs time to restart and redial before a surviving
-    // server gives up on re-establishing the mesh.
-    mesh.set_reestablish_timeout_ms(
-        static_cast<int>(flags.num("rejoin-timeout-ms", 120'000)));
-    std::fprintf(stderr, "[server %zu] mesh up (%zu servers, %zu lanes)\n", id,
-                 mesh.num_nodes(), mesh.lanes());
-
-    // One node + shard runtime per lane, all over single-lane views of the
-    // shared mesh. The verification pool is shared across lanes (the
-    // work-queue pool takes concurrent parallel_for callers); each lane's
-    // channel keys and r schedule are lane-scoped inside the node.
-    ThreadPool pool(base_cfg.batch_threads);
-    using Router = server::ServerRouter<F, Afe>;
-    server::ServerRouter<F, Afe> router(&afe, &mesh, &client_listener, opts);
-    std::vector<std::unique_ptr<net::LaneTransport>> lanes;
-    std::vector<std::unique_ptr<ServerNode<F, Afe>>> nodes;
-    std::vector<std::unique_ptr<Router::Shard>> shard_runtimes;
-    for (size_t l = 0; l < shards; ++l) {
-      lanes.push_back(std::make_unique<net::LaneTransport>(&mesh, l));
-      ServerNodeConfig cfg = base_cfg;
-      cfg.lane = l;
-      cfg.shared_pool = &pool;
-      nodes.push_back(
-          std::make_unique<ServerNode<F, Afe>>(&afe, cfg, lanes.back().get()));
-      shard_runtimes.push_back(std::make_unique<Router::Shard>(
-          nodes.back().get(), lanes.back().get(), &router, opts, shards,
-          stores[l].get()));
-      if (stores[l]) {
-        auto rec = store::recover_node<F, Afe>(nodes.back().get(), &afe,
-                                               stores[l].get(),
-                                               opts.max_buffered);
-        if (!rec.ok) {
-          std::fprintf(stderr,
-                       "prio_server: recovery failed (shard %zu): %s\n", l,
-                       rec.error.c_str());
-          return 1;
-        }
-        if (rec.used_snapshot || rec.batches_applied > 0 ||
-            rec.intake_records > 0) {
-          std::fprintf(
-              stderr,
-              "[server %zu shard %zu] recovered: epoch=%u processed=%llu "
-              "accepted=%llu (%llu batches, %llu intake records, %u torn "
-              "tails truncated)\n",
-              id, l, nodes.back()->epoch(),
-              static_cast<unsigned long long>(nodes.back()->processed()),
-              static_cast<unsigned long long>(nodes.back()->accepted()),
-              static_cast<unsigned long long>(rec.batches_applied),
-              static_cast<unsigned long long>(rec.intake_records),
-              rec.truncated_tails);
-        }
-        shard_runtimes.back()->seed_recovered(std::move(rec));
-      }
-      router.add_shard(shard_runtimes.back().get());
-    }
-    router.finish_setup();
-    std::thread intake([&] { router.serve_clients(); });
-
-    // The intake thread must be joined on every path out of the epoch loop;
-    // letting an exception unwind past a joinable std::thread would turn a
-    // reportable protocol failure into std::terminate.
-    int rc = 0;
-    try {
-      auto last = router.run_epochs();
-      if (last) {
-        std::printf("[server %zu] epoch %u published: accepted=%llu counts=[",
-                    id, last->epoch,
-                    static_cast<unsigned long long>(last->accepted));
-        for (size_t i = 0; i < last->result.size(); ++i) {
-          std::printf("%s%llu", i ? " " : "",
-                      static_cast<unsigned long long>(last->result[i]));
-        }
-        std::printf("]\n");
-        std::fflush(stdout);
-      }
-      router.drain_and_stop();
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
-      router.stop();
-      rc = 1;
-    }
-    intake.join();
-    u64 processed = 0;
-    for (const auto& n : nodes) processed += n->processed();
-    std::fprintf(stderr, "[server %zu] done (%llu submissions processed)\n",
-                 id, static_cast<unsigned long long>(processed));
-    return rc;
+    const auto common = server::parse_common_config(flags);
+    return afe::with_afe<F>(
+        common.spec, [&](const auto& afe_obj, const afe::AfeSpec& norm) {
+          return run_server(afe_obj, norm, flags, common);
+        });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prio_server: fatal: %s\n", e.what());
     return 1;

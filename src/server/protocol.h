@@ -10,9 +10,22 @@
 //
 //   kClientSubmit:  u8 type, u64 client_id, bytes blob      (client -> server)
 //   kSubmitAck:     u8 type, u8 ok                          (server -> client)
-//   kGetAggregate:  u8 type, u32 epoch                      (client -> server 0)
+//   kGetAggregate:  u8 type, u32 epoch, u8 afe_id,
+//                   str afe_spec                            (client -> server 0)
 //   kAggregate:     u8 type, u32 epoch, u64 accepted,
-//                   field_vector sigma                      (server 0 -> client)
+//                   u8 afe_id, str afe_spec,
+//                   field_vector sigma,
+//                   bytes typed_result                      (server 0 -> client)
+//   kAggregateReject: u8 type, u8 afe_id, str afe_spec      (server 0 -> client)
+//
+// The aggregate frames carry the deployment's AFE identity: the registry
+// wire id (afe/registry.h) plus the canonical spec string (defaults filled
+// in, keys sorted). A client asking with a different spec gets
+// kAggregateReject naming the server's spec and the connection is dropped
+// -- a misconfigured client can never silently decode another encoding's
+// field elements. The reply also carries the server-side typed Result
+// (registry.h write_result), so a client both decodes sigma itself and
+// checks the server's decode bit-for-bit.
 //
 // kGetAggregate blocks server-side until the epoch has been published, so
 // a client can submit and then wait for the result on one connection.
@@ -45,7 +58,8 @@
 // protocol resumes:
 //
 //   kSyncHello:     u8 type, u32 lane, u32 epoch, u64 processed,
-//                   u64 accepted, u64 generation   (every node -> every node)
+//                   u64 accepted, u64 generation,
+//                   str afe_spec                   (every node -> every node)
 //   kCatchUpBatch:  u8 type, sealed{u32 count,
 //                   count * (u64 client_id, u64 seq),
 //                   bitmap verdicts}                   (frontier -> behind node)
@@ -53,7 +67,11 @@
 //
 // kSyncHello is plaintext (same rationale as kBatchAnnounce: positions and
 // counters, never share material; a forged position can only desynchronize
-// the sync round, which fails loudly). The catch-up frames, by contrast,
+// the sync round, which fails loudly). It also carries the node's
+// canonical AFE spec string: two servers configured with different
+// encodings would otherwise run circuits of different shapes over the
+// same blobs and publish garbage, so the mismatch is rejected at the
+// first sync instead. The catch-up frames, by contrast,
 // commit verdicts directly into a node's accumulator and replay floors, so
 // their bodies are sealed under the just-negotiated generation's control
 // keys (ServerNode::seal_control) -- unforgeable without the mesh secret.
@@ -74,6 +92,7 @@ inline constexpr u8 kClientSubmit = 0x11;
 inline constexpr u8 kSubmitAck = 0x12;
 inline constexpr u8 kGetAggregate = 0x13;
 inline constexpr u8 kAggregate = 0x14;
+inline constexpr u8 kAggregateReject = 0x15;
 inline constexpr u8 kBatchAnnounce = 0x21;
 inline constexpr u8 kLaneClose = 0x22;
 inline constexpr u8 kSyncHello = 0x31;

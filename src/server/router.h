@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "afe/registry.h"
 #include "server/shard.h"
 
 namespace prio::server {
@@ -339,17 +340,37 @@ class ServerRouter {
           conn.send_frame(ack.data());
         } else if (type == kGetAggregate) {
           u32 epoch = r.u32_();
+          const u8 want_id = r.u8_();
+          const std::string want_spec = r.str_();
           if (!r.ok() || !r.at_end()) break;
           // Only server 0 publishes; a follower drops the connection
           // instead of blocking on an epoch that never appears here.
           if (self() != 0) break;
+          // A client configured with a different AFE must fail loudly
+          // here, not decode this deployment's field elements as its own
+          // encoding; the reject names our spec so the operator sees both
+          // sides of the disagreement.
+          if (want_id != afe::afe_wire_id(*afe_) ||
+              want_spec != opts_.afe_spec) {
+            net::Writer w;
+            w.u8_(kAggregateReject);
+            w.u8_(afe::afe_wire_id(*afe_));
+            w.str_(opts_.afe_spec);
+            conn.send_frame(w.data());
+            break;
+          }
           auto agg = wait_published(epoch);
           if (!agg) break;  // shutting down before the epoch closed
           net::Writer w;
           w.u8_(kAggregate);
           w.u32_(agg->epoch);
           w.u64_(agg->accepted);
+          w.u8_(afe::afe_wire_id(*afe_));
+          w.str_(opts_.afe_spec);
           w.field_vector<F>(std::span<const F>(agg->sigma));
+          net::Writer typed;
+          afe::write_result(*afe_, agg->result, typed);
+          w.bytes(typed.data());
           conn.send_frame(w.data());
         } else {
           break;  // unknown frame: drop the connection

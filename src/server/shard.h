@@ -75,6 +75,12 @@ struct RuntimeOptions {
   size_t max_buffered = 1 << 16;
   size_t max_blob_bytes = 1 << 20;
   size_t max_connections = 256;  // router-wide, lives here for one Options
+  // Canonical AFE spec (afe/registry.h) of this deployment. Exchanged in
+  // kSyncHello so a server configured with a different encoding fails at
+  // the first mesh sync, and compared against kGetAggregate queries so a
+  // mismatched client gets kAggregateReject instead of mis-decoded field
+  // elements. Empty in harnesses that never see spec'd traffic.
+  std::string afe_spec;
 };
 
 // One shard's runtime. `Host` is the router (templated to keep this header
@@ -534,6 +540,7 @@ class ShardRuntime {
     w.u64_(pos[me].processed);
     w.u64_(pos[me].accepted);
     w.u64_(pos[me].gen);
+    w.str_(opts_.afe_spec);
     for (size_t j = 0; j < n; ++j) {
       if (j != me) lane_->send(j, w.data(), 1);
     }
@@ -548,8 +555,19 @@ class ShardRuntime {
       pos[j].processed = r.u64_();
       pos[j].accepted = r.u64_();
       pos[j].gen = r.u64_();
+      const std::string peer_spec = r.str_();
       if (!r.ok() || !r.at_end()) {
         throw net::TransportError("rejoin: malformed sync hello");
+      }
+      // Divergent AFE configuration is unrecoverable misconfiguration:
+      // the circuits would disagree on every batch. Not a TransportError
+      // on purpose -- retrying the sync cannot fix it, so it escapes the
+      // repair loop and fails the server immediately.
+      if (peer_spec != opts_.afe_spec) {
+        throw std::runtime_error("sync: AFE spec mismatch (ours '" +
+                                 opts_.afe_spec + "', server " +
+                                 std::to_string(j) + " runs '" + peer_spec +
+                                 "')");
       }
     }
     // Fresh channel-key generation, strictly above anything any node has
