@@ -30,6 +30,7 @@
 #include "bench_util.h"
 #include "core/deployment.h"
 #include "field/kernels.h"
+#include "obs/metrics.h"
 #include "poly/lagrange.h"
 #include "server/node.h"
 #include "server/protocol.h"
@@ -312,7 +313,7 @@ int main(int argc, char** argv) {
       // Fresh nodes per run (the replay floor would reject a re-run of
       // the same counters); best of two runs per config damps scheduler
       // noise, which dominates on small machines.
-      auto run_config = [&](size_t depth) {
+      auto run_config = [&](size_t depth, obs::Registry* reg = nullptr) {
         net::LoopbackMesh mesh(kServers, 60'000, shards);
         std::vector<std::unique_ptr<net::LoopbackTransport>> bases;
         for (size_t i = 0; i < kServers; ++i) {
@@ -329,6 +330,7 @@ int main(int argc, char** argv) {
             cfg.self = i;
             cfg.lane = l;
             cfg.batch_threads = 1;
+            cfg.metrics = reg;
             nodes.push_back(std::make_unique<ServerNode<F, Afe>>(
                 &afe, cfg, lane_views.back().get()));
           }
@@ -435,6 +437,31 @@ int main(int argc, char** argv) {
           best_d2 = rate;
           best_d2_shards = shards;
         }
+      }
+
+      // ---- metrics overhead gate (src/obs/) ----------------------------
+      // Same depth-2 two-lane run, uninstrumented vs with an attached
+      // obs::Registry (stage histograms + verdict counters recording).
+      // All node metrics fire per BATCH, not per submission, so the delta
+      // must stay under 2%; scheduler noise at these run lengths can
+      // exceed that, hence best-of-two per side and up to four attempts.
+      if (shards == 2) {
+        double overhead = 1.0, base_rate = 0.0, instr_rate = 0.0;
+        for (int att = 0; att < 4 && overhead >= 0.02; ++att) {
+          base_rate = std::max(run_config(2), run_config(2));
+          obs::Registry reg;
+          instr_rate = std::max(run_config(2, &reg), run_config(2, &reg));
+          overhead =
+              base_rate > 0 ? (base_rate - instr_rate) / base_rate : 0.0;
+        }
+        std::printf("metrics overhead d2 s2:  off %6.0f subs/s   on %6.0f"
+                    " subs/s   (%+.2f%%)\n",
+                    base_rate, instr_rate, overhead * 100.0);
+        json.kv("metrics_off_subs_per_s", base_rate);
+        json.kv("metrics_on_subs_per_s", instr_rate);
+        json.kv("metrics_overhead_frac", overhead);
+        require(overhead < 0.02,
+                "bench: metrics overhead exceeds 2% at depth 2");
       }
     }
     json.kv("pipeline_pipelined1_subs_per_s", best_d1);

@@ -318,6 +318,10 @@ void TcpMeshTransport::send_lane(size_t lane, size_t to, std::vector<u8> frame,
   frame.insert(frame.begin(), static_cast<u8>(lane));
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!lane_metrics_.empty()) {
+    lane_metrics_[lane].frames->inc();
+    lane_metrics_[lane].bytes->inc(frame.size());
+  }
   PeerLink& link = *links_[to];
   // One frame hits the socket at a time; the link mutex is only taken
   // briefly to check liveness so a blocked reader never delays a sender.
@@ -345,6 +349,10 @@ void TcpMeshTransport::send_lane(size_t lane, size_t to, std::vector<u8> frame,
 std::vector<u8> TcpMeshTransport::recv_lane(size_t lane, size_t from) {
   require(from < n_ && from != self_ && lane < lanes_,
           "TcpMeshTransport::recv_lane: bad peer or lane");
+  // Entry-to-exit wall time: exactly how long this lane thread sat blocked
+  // waiting for the peer (records timeout/link-down exits too).
+  obs::ScopedTimer recv_timer(
+      lane_metrics_.empty() ? nullptr : lane_metrics_[lane].recv_wait);
   PeerLink& link = *links_[from];
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(recv_timeout_ms_);
@@ -417,6 +425,21 @@ std::vector<u8> TcpMeshTransport::recv_lane(size_t lane, size_t from) {
 void TcpMeshTransport::end_round(u64 submissions) {
   (void)submissions;
   rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpMeshTransport::attach_metrics(obs::Registry* registry) {
+  lane_metrics_.resize(lanes_);
+  for (size_t l = 0; l < lanes_; ++l) {
+    const std::string label = obs::label_kv("lane", l);
+    lane_metrics_[l].frames = registry->counter(
+        "prio_mesh_frames_sent_total", "Mesh frames sent, per lane", label);
+    lane_metrics_[l].bytes = registry->counter(
+        "prio_mesh_bytes_sent_total",
+        "Mesh bytes sent (incl. lane prefix), per lane", label);
+    lane_metrics_[l].recv_wait = registry->histogram(
+        "prio_mesh_recv_wait_seconds",
+        "Wall time a lane thread spent blocked in mesh recv", label);
+  }
 }
 
 }  // namespace prio::net

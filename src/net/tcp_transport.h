@@ -35,6 +35,7 @@
 
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "util/common.h"
 
 namespace prio::net {
@@ -260,6 +261,11 @@ class TcpMeshTransport final : public Transport {
   u64 messages_sent() const { return messages_sent_.load(); }
   u64 rounds() const { return rounds_.load(); }
 
+  // Registers per-lane frame/byte counters and a blocked-in-recv histogram
+  // with `registry`. Call during setup, before any lane thread runs
+  // send/recv (the per-lane slot vector is sized here, unsynchronized).
+  void attach_metrics(obs::Registry* registry);
+
  private:
   // Per-peer link: the connection plus the lane demultiplexer state.
   struct PeerLink {
@@ -286,7 +292,15 @@ class TcpMeshTransport final : public Transport {
   int setup_timeout_ms_ = 30'000;
   int reestablish_timeout_ms_ = 0;  // <= 0: use setup_timeout_ms_
   int recv_timeout_ms_ = 30'000;
+  // Per-lane scrape instruments; empty until attach_metrics.
+  struct LaneMetrics {
+    obs::Counter* frames = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* recv_wait = nullptr;
+  };
+
   std::vector<std::unique_ptr<PeerLink>> links_;  // indexed by node id
+  std::vector<LaneMetrics> lane_metrics_;
   std::atomic<bool> mesh_down_{false};
   std::atomic<u64> bytes_sent_{0};
   std::atomic<u64> messages_sent_{0};

@@ -1,0 +1,423 @@
+// Low-overhead runtime metrics: counters, gauges, and fixed-bucket latency
+// histograms behind a name-keyed registry.
+//
+// Design constraints, in order:
+//   * The hot path (a lane thread mid-batch, an intake thread mid-ack) pays
+//     ONE relaxed atomic RMW per event and allocates nothing: every metric
+//     is registered once at startup and the component keeps the raw
+//     pointer. Instances never move (unique_ptr payloads in the registry).
+//   * Lanes never contend: each shard/lane registers its OWN instance of a
+//     family (distinguished by a label such as shard="3"), so two lanes
+//     incrementing "the same" counter touch different cache lines. The
+//     cross-lane total is computed at scrape time, where a mutex and a few
+//     hundred relaxed loads cost nothing.
+//   * Scrape-while-write is race-free by construction: writers use relaxed
+//     atomics, the scraper reads the same atomics relaxed. Histogram
+//     bucket counts are monotone, so a torn scrape is at worst a snapshot
+//     slightly out of phase between buckets -- fine for monitoring, and
+//     clean under TSan.
+//
+// Rendering: render_prometheus() emits the text exposition format
+// (per-instance samples with their label; histograms as cumulative
+// _bucket/_sum/_count series); render_json() emits a structured snapshot
+// with per-family totals and merged quantiles for /stats.json.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace prio::obs {
+
+inline u64 now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Counter {
+ public:
+  void inc(u64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  u64 get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Latency bucket upper bounds, in seconds: a 1-2-5 ladder from 1us to 10s.
+// Fixed at compile time so observe() is a bounded scan plus one relaxed
+// add -- no allocation, no locks, identical layout in every instance (which
+// is what lets scrape-time merging across shards just add bucket counts).
+inline constexpr std::array<double, 22> kLatencyBoundsSeconds = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0};
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = kLatencyBoundsSeconds.size() + 1;
+
+  void observe(double seconds) {
+    size_t b = 0;
+    while (b < kLatencyBoundsSeconds.size() &&
+           seconds > kLatencyBoundsSeconds[b]) {
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<u64>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+  void observe_ns(u64 ns) {
+    observe(static_cast<double>(ns) * 1e-9);
+  }
+
+  u64 bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  u64 count() const {
+    u64 n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  double sum_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  // Upper-bound quantile estimate from the bucket counts (the classic
+  // Prometheus histogram_quantile flavor: returns the upper bound of the
+  // bucket the q-th observation falls in; the overflow bucket reports the
+  // last finite bound).
+  double quantile(double q) const {
+    std::array<u64, kBuckets> snap;
+    u64 total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      snap[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snap[i];
+    }
+    return quantile_of(snap, total, q);
+  }
+
+  static double quantile_of(const std::array<u64, kBuckets>& counts,
+                            u64 total, double q) {
+    if (total == 0) return 0.0;
+    // Nearest-rank: the q-th observation is the ceil(q*N)-th smallest.
+    const u64 rank = std::max<u64>(
+        1, static_cast<u64>(std::ceil(q * static_cast<double>(total))));
+    u64 cum = 0;
+    for (size_t i = 0; i < kLatencyBoundsSeconds.size(); ++i) {
+      cum += counts[i];
+      if (cum >= rank) return kLatencyBoundsSeconds[i];
+    }
+    return kLatencyBoundsSeconds.back();
+  }
+
+ private:
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  std::atomic<u64> sum_ns_{0};
+};
+
+// Times one scope into a histogram; a null histogram costs one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h), t0_(h ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (h_) h_->observe_ns(now_ns() - t0_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  u64 t0_;
+};
+
+// Formats one instance label, e.g. label_kv("shard", 3) -> shard="3".
+inline std::string label_kv(const char* key, size_t value) {
+  std::string out = key;
+  out += "=\"";
+  out += std::to_string(value);
+  out += '"';
+  return out;
+}
+inline std::string label_kv(const char* key, const std::string& value) {
+  std::string out = key;
+  out += "=\"";
+  out += value;
+  out += '"';
+  return out;
+}
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Name-keyed registry of metric families; each family holds one instance
+// per label (per shard, per lane, ...). Registration takes a mutex and
+// allocates; everything after returns stable raw pointers. Asking for an
+// already-registered (name, label) returns the same instance, so wiring
+// code can re-resolve pointers instead of threading them around.
+class Registry {
+ public:
+  Counter* counter(const std::string& name, const std::string& help,
+                   const std::string& label = "") {
+    Instance& in = instance(name, help, MetricKind::kCounter, label);
+    return in.c.get();
+  }
+  Gauge* gauge(const std::string& name, const std::string& help,
+               const std::string& label = "") {
+    Instance& in = instance(name, help, MetricKind::kGauge, label);
+    return in.g.get();
+  }
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       const std::string& label = "") {
+    Instance& in = instance(name, help, MetricKind::kHistogram, label);
+    return in.h.get();
+  }
+
+  // ---- scrape-time aggregation across a family's instances -------------
+
+  // Sum of a counter family's instances (0 for an unknown name).
+  u64 total(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = families_.find(name);
+    if (it == families_.end()) return 0;
+    u64 sum = 0;
+    for (const auto& in : it->second.instances) {
+      if (in->c) sum += in->c->get();
+      if (in->g) sum += static_cast<u64>(in->g->get());
+    }
+    return sum;
+  }
+
+  u64 hist_count(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = families_.find(name);
+    if (it == families_.end()) return 0;
+    u64 n = 0;
+    for (const auto& in : it->second.instances) {
+      if (in->h) n += in->h->count();
+    }
+    return n;
+  }
+
+  // Quantile over the union of a histogram family's instances.
+  double hist_quantile(const std::string& name, double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = families_.find(name);
+    if (it == families_.end()) return 0.0;
+    std::array<u64, Histogram::kBuckets> merged{};
+    u64 total = 0;
+    for (const auto& in : it->second.instances) {
+      if (!in->h) continue;
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        const u64 c = in->h->bucket(b);
+        merged[b] += c;
+        total += c;
+      }
+    }
+    return Histogram::quantile_of(merged, total, q);
+  }
+
+  // ---- rendering -------------------------------------------------------
+
+  // Prometheus text exposition format (version 0.0.4).
+  std::string render_prometheus() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto& [name, fam] : families_) {
+      out += "# HELP " + name + " " + fam.help + "\n";
+      out += "# TYPE " + name + " " + kind_name(fam.kind) + "\n";
+      for (const auto& in : fam.instances) {
+        if (fam.kind == MetricKind::kHistogram) {
+          u64 cum = 0;
+          for (size_t b = 0; b < kLatencyBoundsSeconds.size(); ++b) {
+            cum += in->h->bucket(b);
+            out += name + "_bucket{" + with_label(in->label, "le=\"" +
+                   fmt_double(kLatencyBoundsSeconds[b]) + "\"") + "} " +
+                   std::to_string(cum) + "\n";
+          }
+          cum += in->h->bucket(kLatencyBoundsSeconds.size());
+          out += name + "_bucket{" + with_label(in->label, "le=\"+Inf\"") +
+                 "} " + std::to_string(cum) + "\n";
+          out += name + "_sum" + brace(in->label) + " " +
+                 fmt_double(in->h->sum_seconds()) + "\n";
+          out += name + "_count" + brace(in->label) + " " +
+                 std::to_string(cum) + "\n";
+        } else if (fam.kind == MetricKind::kCounter) {
+          out += name + brace(in->label) + " " + std::to_string(in->c->get()) +
+                 "\n";
+        } else {
+          out += name + brace(in->label) + " " + std::to_string(in->g->get()) +
+                 "\n";
+        }
+      }
+    }
+    return out;
+  }
+
+  // The "metrics" member of /stats.json: per-family type, cross-instance
+  // total (counters/gauges) or count/sum/quantiles (histograms), and the
+  // per-label series.
+  std::string render_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{";
+    bool first_fam = true;
+    for (const auto& [name, fam] : families_) {
+      if (!first_fam) out += ",";
+      first_fam = false;
+      out += "\n    \"" + name + "\": {\"type\": \"" + kind_name(fam.kind) +
+             "\", ";
+      if (fam.kind == MetricKind::kHistogram) {
+        std::array<u64, Histogram::kBuckets> merged{};
+        u64 total = 0;
+        double sum = 0.0;
+        for (const auto& in : fam.instances) {
+          for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+            const u64 c = in->h->bucket(b);
+            merged[b] += c;
+            total += c;
+          }
+          sum += in->h->sum_seconds();
+        }
+        out += "\"count\": " + std::to_string(total) +
+               ", \"sum_s\": " + fmt_double(sum) +
+               ", \"p50\": " + fmt_double(Histogram::quantile_of(merged, total, 0.50)) +
+               ", \"p99\": " + fmt_double(Histogram::quantile_of(merged, total, 0.99)) +
+               ", \"series\": {";
+        bool first = true;
+        for (const auto& in : fam.instances) {
+          if (!first) out += ", ";
+          first = false;
+          // Plain appends: GCC 12 raises a spurious -Wrestrict on chained
+          // operator+ with a char* left operand here (PR 105329 family).
+          out += '"';
+          out += json_escape(in->label);
+          out += "\": {\"count\": ";
+          out += std::to_string(in->h->count());
+          out += ", \"p99\": ";
+          out += fmt_double(in->h->quantile(0.99));
+          out += '}';
+        }
+        out += "}}";
+      } else {
+        u64 total = 0;
+        std::string series;
+        bool first = true;
+        for (const auto& in : fam.instances) {
+          const std::int64_t v =
+              fam.kind == MetricKind::kCounter
+                  ? static_cast<std::int64_t>(in->c->get())
+                  : in->g->get();
+          total += static_cast<u64>(v);
+          if (!first) series += ", ";
+          first = false;
+          series += '"';
+          series += json_escape(in->label);
+          series += "\": ";
+          series += std::to_string(v);
+        }
+        out += "\"total\": " + std::to_string(total) + ", \"series\": {" +
+               series + "}}";
+      }
+    }
+    out += "\n  }";
+    return out;
+  }
+
+ private:
+  struct Instance {
+    std::string label;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::vector<std::unique_ptr<Instance>> instances;
+  };
+
+  Instance& instance(const std::string& name, const std::string& help,
+                     MetricKind kind, const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = families_.try_emplace(name);
+    Family& fam = it->second;
+    if (inserted) {
+      fam.kind = kind;
+      fam.help = help;
+    }
+    require(fam.kind == kind,
+            "obs::Registry: metric re-registered with a different kind");
+    for (auto& in : fam.instances) {
+      if (in->label == label) return *in;
+    }
+    auto in = std::make_unique<Instance>();
+    in->label = label;
+    switch (kind) {
+      case MetricKind::kCounter: in->c = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: in->g = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram:
+        in->h = std::make_unique<Histogram>();
+        break;
+    }
+    fam.instances.push_back(std::move(in));
+    return *fam.instances.back();
+  }
+
+  static const char* kind_name(MetricKind k) {
+    switch (k) {
+      case MetricKind::kCounter: return "counter";
+      case MetricKind::kGauge: return "gauge";
+      case MetricKind::kHistogram: return "histogram";
+    }
+    return "counter";
+  }
+
+  static std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+  }
+
+  static std::string brace(const std::string& label) {
+    return label.empty() ? std::string() : "{" + label + "}";
+  }
+  static std::string with_label(const std::string& label,
+                                const std::string& extra) {
+    return label.empty() ? extra : label + "," + extra;
+  }
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace prio::obs

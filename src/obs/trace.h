@@ -1,0 +1,69 @@
+// Structured JSONL trace log for pipeline stage events.
+//
+// One line per event, e.g.:
+//   {"ts_us":1754650000123456,"event":"batch_committed","server":0,
+//    "lane":2,"epoch":1,"batch":7,"n":8,"dur_us":912}
+//
+// Opt-in via `prio_server --trace-log FILE`; when disabled every call site
+// holds a null pointer and pays a single predictable branch. When enabled,
+// emission takes a mutex and an fwrite+fflush -- events are per-batch, not
+// per-submission, so this never sits on the hot path proper.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace prio::obs {
+
+class TraceLog {
+ public:
+  // Returns nullptr (and prints to stderr) if the file cannot be opened.
+  static std::unique_ptr<TraceLog> open(const std::string& path) {
+    FILE* f = std::fopen(path.c_str(), "a");
+    if (!f) {
+      std::fprintf(stderr, "trace-log: cannot open %s\n", path.c_str());
+      return nullptr;
+    }
+    return std::unique_ptr<TraceLog>(new TraceLog(f));
+  }
+
+  ~TraceLog() {
+    if (f_) std::fclose(f_);
+  }
+
+  // Emits one JSONL record: the event name plus integer fields. Flushed per
+  // event so a crash leaves a readable prefix.
+  void event(const char* name,
+             std::initializer_list<std::pair<const char*, long long>> fields) {
+    const long long ts_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string line = "{\"ts_us\":" + std::to_string(ts_us) +
+                       ",\"event\":\"" + name + "\"";
+    for (const auto& [k, v] : fields) {
+      line += ",\"";
+      line += k;
+      line += "\":" + std::to_string(v);
+    }
+    line += "}\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fflush(f_);
+  }
+
+ private:
+  explicit TraceLog(FILE* f) : f_(f) {}
+
+  std::mutex mu_;
+  FILE* f_;
+};
+
+}  // namespace prio::obs

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stats_server.h"
 #include "server/router.h"
 
 namespace prio::server {
@@ -45,6 +46,11 @@ class InprocCluster {
     size_t batch_threads = 1;
     int mesh_timeout_ms = 15'000;
     int recv_timeout_ms = 60'000;
+    // With stats=true every server gets its own obs::Registry and server 0
+    // additionally serves /metrics + /stats.json on an ephemeral loopback
+    // port (stats_port()) -- the in-process mirror of prio_server
+    // --stats-port, used by prio_loadgen --scrape self and the tests.
+    bool stats = false;
     RuntimeOptions runtime;  // afe_spec must name the cluster's AFE
   };
 
@@ -58,6 +64,32 @@ class InprocCluster {
       peer_listeners_.push_back(std::make_unique<net::TcpListener>(0));
       client_listeners_.push_back(std::make_unique<net::TcpListener>(0));
       addrs.push_back({"127.0.0.1", peer_listeners_.back()->port()});
+      if (opts_.stats) registries_.push_back(std::make_unique<obs::Registry>());
+    }
+    if (opts_.stats) {
+      // Instruments register concurrently from the server threads below;
+      // the Registry serializes registration against scrapes, so the
+      // endpoint can come up first.
+      obs::Registry* reg = registries_[0].get();
+      const size_t shards = opts_.shards;
+      stats_ = std::make_unique<obs::StatsServer>(0, reg, [reg, shards]() {
+        std::string out = "\"server\": {\"id\": 0, \"shards\": " +
+                          std::to_string(shards) + "},\n  \"totals\": {";
+        out += "\"intake_accepted\": " +
+               std::to_string(reg->total("prio_intake_accepted_total"));
+        out += ", \"intake_rejected\": " +
+               std::to_string(reg->total("prio_intake_rejected_total"));
+        out += ", \"verify_accepted\": " +
+               std::to_string(reg->total("prio_verify_accepted_total"));
+        out += ", \"verify_rejected\": " +
+               std::to_string(reg->total("prio_verify_rejected_total"));
+        out += ", \"replay_hits\": " +
+               std::to_string(reg->total("prio_replay_hits_total"));
+        out += ", \"batches_committed\": " +
+               std::to_string(reg->total("prio_batches_committed_total"));
+        out += "}";
+        return out;
+      });
     }
     for (size_t i = 0; i < opts_.num_servers; ++i) {
       threads_.emplace_back([this, addrs, i] { run_server(addrs, i); });
@@ -75,6 +107,16 @@ class InprocCluster {
 
   u16 client_port(size_t i) const { return client_listeners_.at(i)->port(); }
   size_t num_servers() const { return opts_.num_servers; }
+
+  // Server 0's stats endpoint port; only valid with Options::stats.
+  u16 stats_port() const {
+    require(stats_ != nullptr, "InprocCluster: stats not enabled");
+    return stats_->port();
+  }
+  // Server i's registry (scrape-time reads only); null without stats.
+  const obs::Registry* registry(size_t i) const {
+    return opts_.stats ? registries_.at(i).get() : nullptr;
+  }
 
   // Joins every server thread, rethrows the first captured failure, and
   // returns server 0's last published epoch aggregate.
@@ -103,8 +145,13 @@ class InprocCluster {
       net::TcpMeshTransport mesh(id, addrs, peer_listeners_[id].get(), secret,
                                  opts_.mesh_timeout_ms, opts_.recv_timeout_ms,
                                  opts_.shards * (pipelined ? 2 : 1));
+      RuntimeOptions runtime = opts_.runtime;
+      if (opts_.stats) {
+        runtime.metrics = registries_[id].get();
+        mesh.attach_metrics(registries_[id].get());
+      }
       ThreadPool pool(opts_.batch_threads);
-      Router router(afe_, &mesh, client_listeners_[id].get(), opts_.runtime);
+      Router router(afe_, &mesh, client_listeners_[id].get(), runtime);
       std::vector<std::unique_ptr<net::LaneTransport>> lanes;
       std::vector<std::unique_ptr<net::LaneTransport>> ctrl_lanes;
       std::vector<std::unique_ptr<Node>> nodes;
@@ -121,9 +168,10 @@ class InprocCluster {
         cfg.master_seed = opts_.master_seed;
         cfg.lane = l;
         cfg.shared_pool = &pool;
+        cfg.metrics = runtime.metrics;
         nodes.push_back(std::make_unique<Node>(afe_, cfg, lanes.back().get()));
         shard_runtimes.push_back(std::make_unique<typename Router::Shard>(
-            nodes.back().get(), lanes.back().get(), &router, opts_.runtime,
+            nodes.back().get(), lanes.back().get(), &router, runtime,
             opts_.shards, nullptr,
             pipelined ? ctrl_lanes.back().get() : nullptr));
         router.add_shard(shard_runtimes.back().get());
@@ -145,6 +193,8 @@ class InprocCluster {
 
   const Afe* afe_;
   Options opts_;
+  std::vector<std::unique_ptr<obs::Registry>> registries_;
+  std::unique_ptr<obs::StatsServer> stats_;
   std::vector<std::unique_ptr<net::TcpListener>> peer_listeners_;
   std::vector<std::unique_ptr<net::TcpListener>> client_listeners_;
   std::vector<ServerResult> results_;

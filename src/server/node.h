@@ -49,6 +49,7 @@
 #include "net/channel.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "snip/snip.h"
 #include "store/wal.h"
 #include "util/thread_pool.h"
@@ -115,6 +116,11 @@ struct ServerNodeConfig {
   // router shares one pool across all lanes; ThreadPool::parallel_for is
   // safe from concurrent callers). Not owned.
   ThreadPool* shared_pool = nullptr;
+  // If set, the node registers per-lane stage histograms and verdict
+  // counters (label shard="<lane>") and records into them; null leaves the
+  // node uninstrumented at the cost of one predictable branch per batch.
+  // Not owned; must outlive the node.
+  obs::Registry* metrics = nullptr;
 };
 
 template <PrimeField F, typename Afe>
@@ -149,6 +155,27 @@ class ServerNode {
     // lazy first-touch pool creation would race.
     if (!cfg_.shared_pool) {
       pool_ = std::make_unique<ThreadPool>(cfg_.batch_threads);
+    }
+    if (cfg_.metrics) {
+      obs::Registry* reg = cfg_.metrics;
+      const std::string label = obs::label_kv("shard", cfg_.lane);
+      m_prepare_ = reg->histogram(
+          "prio_stage_prepare_seconds",
+          "Batch prepare latency (decrypt + PRG expansion)", label);
+      m_rounds_ = reg->histogram(
+          "prio_stage_rounds_seconds",
+          "Batch verification latency (local checks + 4 mesh rounds); "
+          "committed attempts only",
+          label);
+      m_accepted_ = reg->counter("prio_verify_accepted_total",
+                                 "Submissions accepted by verification",
+                                 label);
+      m_rejected_ = reg->counter(
+          "prio_verify_rejected_total",
+          "Submissions rejected by verification (incl. replay hits)", label);
+      m_replay_hits_ = reg->counter(
+          "prio_replay_hits_total",
+          "Verified submissions dropped by the replay floor", label);
     }
   }
 
@@ -203,6 +230,7 @@ class ServerNode {
   // -------------------------------------------------------------------
   void prepare_batch(std::span<const SubmissionShare> batch,
                      PreparedBatch<F>& prep) {
+    obs::ScopedTimer prepare_timer(m_prepare_);
     const size_t q = batch.size();
     prep.count = q;
     prep.ext_len = ctx_.layout().total_len();
@@ -254,6 +282,9 @@ class ServerNode {
     require(prep.count == q, "run_rounds: prepared batch size mismatch");
     std::vector<u8> verdicts(q, 0);
     if (q == 0) return verdicts;
+    // Recorded only on commit (the observe at the bottom): an aborted
+    // attempt shows up in the abort counters, not the latency histogram.
+    const u64 rounds_t0 = m_rounds_ ? obs::now_ns() : 0;
     const size_t s = cfg_.num_servers;
     const size_t me = cfg_.self;
     const u64 batch_no = batch_counter_++;
@@ -416,16 +447,26 @@ class ServerNode {
 
     // Replay floor + aggregation, in submission order -- deterministic, so
     // every node converges on the same verdicts and accumulator updates.
+    u64 batch_accepted = 0;
     for (size_t v = 0; v < q; ++v) {
       if (!decisions[v] || !live[v]) continue;
-      if (!replay_.fresh(batch[v].client_id, prep.seqs[v])) continue;
+      if (!replay_.fresh(batch[v].client_id, prep.seqs[v])) {
+        if (m_replay_hits_) m_replay_hits_->inc();
+        continue;
+      }
       replay_.accept(batch[v].client_id, prep.seqs[v]);
       verdicts[v] = 1;
       kernels::vec_add_inplace<F>(std::span<F>(accumulator_),
                                   prep.share(v).first(kp));
       ++accepted_;
+      ++batch_accepted;
     }
     processed_ += q;
+    if (m_rounds_) {
+      m_rounds_->observe_ns(obs::now_ns() - rounds_t0);
+      m_accepted_->inc(batch_accepted);
+      m_rejected_->inc(q - batch_accepted);
+    }
     return verdicts;
   }
 
@@ -788,6 +829,11 @@ class ServerNode {
   std::vector<F> accumulator_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<SnipVerifier<F>> verifiers_;  // per-worker engine scratch
+  obs::Histogram* m_prepare_ = nullptr;
+  obs::Histogram* m_rounds_ = nullptr;
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_replay_hits_ = nullptr;
   u64 batch_counter_ = 0;
   u64 refreshes_ = 1;  // the context constructor performs the first refresh
   u64 accepted_ = 0;

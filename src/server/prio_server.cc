@@ -44,12 +44,15 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "afe/registry.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 #include "server/cli.h"
 #include "server/router.h"
 #include "store/recovery.h"
@@ -88,6 +91,20 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
   opts.afe_spec = spec.canonical();
   opts.pipeline_depth = common.pipeline_depth;
 
+  // Observability (src/obs/): the registry is always attached -- hot-path
+  // recording is a relaxed atomic per event (bench_hotpath holds the
+  // overhead under 2%) -- while the HTTP endpoint (--stats-port), the
+  // JSONL trace (--trace-log FILE) and the periodic self-report
+  // (--report-interval-s N) are opt-in.
+  obs::Registry registry;
+  opts.metrics = &registry;
+  base_cfg.metrics = &registry;
+  std::unique_ptr<obs::TraceLog> trace;
+  if (flags.has("trace-log")) {
+    trace = obs::TraceLog::open(flags.str("trace-log", ""));
+    opts.trace = trace.get();
+  }
+
   // Durable epoch stores (optional), one per shard: opened before the
   // mesh so a corrupt directory fails fast, recovered after the nodes
   // exist. One shard keeps the flat pre-sharding layout.
@@ -108,6 +125,7 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
         dir += sub;
       }
       stores[l] = std::make_unique<store::EpochStore>(dir, *policy);
+      stores[l]->attach_metrics(&registry, obs::label_kv("shard", l));
     }
   }
 
@@ -136,6 +154,7 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
   // server gives up on re-establishing the mesh.
   mesh.set_reestablish_timeout_ms(
       static_cast<int>(flags.num("rejoin-timeout-ms", 120'000)));
+  mesh.attach_metrics(&registry);
   std::fprintf(stderr, "[server %zu] mesh up (%zu servers, %zu lanes)\n", id,
                mesh.num_nodes(), mesh.lanes());
 
@@ -196,6 +215,103 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
     router.add_shard(shard_runtimes.back().get());
   }
   router.finish_setup();
+
+  // Live stats endpoint (--stats-port N; 0 picks an ephemeral port). The
+  // handler thread only reads atomics -- per-lane protocol state is
+  // mirrored into gauges by each lane thread at quiescent points
+  // (ShardRuntime::update_lane_gauges), never read from the nodes here.
+  std::unique_ptr<obs::StatsServer> stats;
+  if (flags.has("stats-port")) {
+    auto extra = [&registry, &opts, id, shards]() {
+      std::string out;
+      out += "\"server\": {\"id\": " + std::to_string(id) +
+             ", \"shards\": " + std::to_string(shards) +
+             ", \"epochs\": " + std::to_string(opts.epochs) +
+             ", \"epoch_size\": " + std::to_string(opts.epoch_size) +
+             ", \"pipeline_depth\": " + std::to_string(opts.pipeline_depth) +
+             "},\n  \"shards\": [";
+      for (size_t l = 0; l < shards; ++l) {
+        const std::string lab = obs::label_kv("shard", l);
+        out += l ? ", {" : "{";
+        out += "\"shard\": " + std::to_string(l);
+        out += ", \"epoch\": " +
+               std::to_string(registry.gauge("prio_lane_epoch", "", lab)->get());
+        out += ", \"generation\": " +
+               std::to_string(
+                   registry.gauge("prio_lane_generation", "", lab)->get());
+        out += ", \"processed\": " +
+               std::to_string(
+                   registry.gauge("prio_lane_processed", "", lab)->get());
+        out += ", \"accepted\": " +
+               std::to_string(
+                   registry.gauge("prio_lane_accepted", "", lab)->get());
+        out += "}";
+      }
+      out += "],\n  \"totals\": {";
+      out += "\"intake_accepted\": " +
+             std::to_string(registry.total("prio_intake_accepted_total"));
+      out += ", \"intake_rejected\": " +
+             std::to_string(registry.total("prio_intake_rejected_total"));
+      out += ", \"verify_accepted\": " +
+             std::to_string(registry.total("prio_verify_accepted_total"));
+      out += ", \"verify_rejected\": " +
+             std::to_string(registry.total("prio_verify_rejected_total"));
+      out += ", \"replay_hits\": " +
+             std::to_string(registry.total("prio_replay_hits_total"));
+      out += ", \"batches_committed\": " +
+             std::to_string(registry.total("prio_batches_committed_total"));
+      out += ", \"batch_aborts\": " +
+             std::to_string(registry.total("prio_batch_aborts_total"));
+      out += ", \"wal_rotations\": " +
+             std::to_string(registry.total("prio_wal_rotations_total"));
+      out += "}";
+      return out;
+    };
+    stats = std::make_unique<obs::StatsServer>(
+        static_cast<u16>(flags.num("stats-port", 0)), &registry,
+        std::move(extra), bind_host);
+    std::fprintf(stderr, "[server %zu] stats endpoint on port %u\n", id,
+                 stats->port());
+  }
+
+  // Periodic one-line self-report on stderr (--report-interval-s N,
+  // default off): submission rate over the interval, batch-verification
+  // accept rate, and the p99 of the committed-round and WAL-fsync stage
+  // histograms so an operator can watch a run without the HTTP endpoint.
+  std::atomic<bool> report_stop{false};
+  std::thread reporter;
+  const u64 report_s = flags.num("report-interval-s", 0);
+  if (report_s > 0) {
+    reporter = std::thread([&registry, &report_stop, id, report_s] {
+      u64 prev_subs = 0;
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(report_s);
+      while (!report_stop.load(std::memory_order_acquire)) {
+        // Short sleeps keep shutdown prompt without a condvar handshake.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::seconds(report_s);
+        const u64 subs = registry.total("prio_intake_accepted_total");
+        const u64 va = registry.total("prio_verify_accepted_total");
+        const u64 vr = registry.total("prio_verify_rejected_total");
+        const double rate =
+            static_cast<double>(subs - prev_subs) / static_cast<double>(report_s);
+        const double accept =
+            va + vr ? static_cast<double>(va) / static_cast<double>(va + vr)
+                    : 1.0;
+        std::fprintf(stderr,
+                     "[server %zu] report subs/s=%.1f accept_rate=%.3f "
+                     "batch_p99_ms=%.3f wal_fsync_p99_ms=%.3f\n",
+                     id, rate, accept,
+                     registry.hist_quantile("prio_stage_rounds_seconds", 0.99) *
+                         1e3,
+                     registry.hist_quantile("prio_wal_fsync_seconds", 0.99) *
+                         1e3);
+        prev_subs = subs;
+      }
+    });
+  }
+
   std::thread intake([&] { router.serve_clients(); });
 
   // The intake thread must be joined on every path out of the epoch loop;
@@ -223,6 +339,8 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
     rc = 1;
   }
   intake.join();
+  report_stop.store(true, std::memory_order_release);
+  if (reporter.joinable()) reporter.join();
   u64 processed = 0;
   for (const auto& n : nodes) processed += n->processed();
   std::fprintf(stderr, "[server %zu] done (%llu submissions processed)\n",

@@ -49,7 +49,29 @@ class ServerRouter {
   // seed_recovered), before serve_clients/run_epochs.
   ServerRouter(const Afe* afe, net::Transport* mesh,
                net::TcpListener* client_listener, RuntimeOptions opts)
-      : afe_(afe), mesh_(mesh), listener_(client_listener), opts_(opts) {}
+      : afe_(afe), mesh_(mesh), listener_(client_listener), opts_(opts) {
+    if (opts_.metrics) {
+      obs::Registry* reg = opts_.metrics;
+      m_rej_malformed_ = reg->counter(
+          "prio_intake_rejected_total",
+          "Client submissions rejected at intake, by cause",
+          obs::label_kv("cause", std::string("malformed")));
+      m_rej_wal_ = reg->counter(
+          "prio_intake_rejected_total",
+          "Client submissions rejected at intake, by cause",
+          obs::label_kv("cause", std::string("wal_refused")));
+      g_conns_ = reg->gauge("prio_client_connections",
+                            "Open client connections");
+      m_shed_ = reg->counter(
+          "prio_connections_shed_total",
+          "Client connections dropped at the --max-connections bound");
+      m_agg_queries_ = reg->counter("prio_aggregate_queries_total",
+                                    "kGetAggregate queries received");
+      m_agg_rejects_ = reg->counter(
+          "prio_aggregate_rejects_total",
+          "Aggregate queries refused over an AFE spec mismatch");
+    }
+  }
 
   ~ServerRouter() { stop(); }
 
@@ -68,6 +90,17 @@ class ServerRouter {
   // per-lane aggregates recovery handed back.
   void finish_setup() {
     require(!shards_.empty(), "ServerRouter: need >= 1 shard");
+    if (opts_.metrics) {
+      // Per-shard intake accepts live here, after every add_shard, so the
+      // instance count matches the lane count.
+      m_intake_ok_.reserve(shards_.size());
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        m_intake_ok_.push_back(opts_.metrics->counter(
+            "prio_intake_accepted_total",
+            "Client submissions accepted at intake (WAL-backed ack)",
+            obs::label_kv("shard", i)));
+      }
+    }
     if (self() != 0) return;
     for (Shard* s : shards_) {
       const u64 used = s->node()->epoch_processed();
@@ -233,8 +266,12 @@ class ServerRouter {
         auto sock = listener_->accept_conn(200);
         if (!sock || stopped()) continue;  // drop late arrivals on shutdown
         std::lock_guard<std::mutex> lock(mu_);
-        if (active_conns_ >= opts_.max_connections) continue;  // shed load
+        if (active_conns_ >= opts_.max_connections) {  // shed load
+          if (m_shed_) m_shed_->inc();
+          continue;
+        }
         ++active_conns_;
+        if (g_conns_) g_conns_->set(static_cast<std::int64_t>(active_conns_));
         const u64 id = next_conn_id_++;
         // Frames from untrusted clients are bounded near the largest
         // acceptable blob, not the transport-wide 64 MiB ceiling.
@@ -342,14 +379,24 @@ class ServerRouter {
             // The shard's submit() does WAL-before-ack; the routing hash
             // is the one place intake picks a shard, so a given client's
             // blobs (and replay floor) can never straddle shards.
-            Shard* shard = shards_[shard_of(cid, shards_.size())];
-            ok = shard->submit(cid, seq, std::move(blob));
+            const size_t shard_idx = shard_of(cid, shards_.size());
+            ok = shards_[shard_idx]->submit(cid, seq, std::move(blob));
+            if (!m_intake_ok_.empty()) {
+              if (ok) {
+                m_intake_ok_[shard_idx]->inc();
+              } else {
+                m_rej_wal_->inc();
+              }
+            }
+          } else if (m_rej_malformed_) {
+            m_rej_malformed_->inc();
           }
           net::Writer ack;
           ack.u8_(kSubmitAck);
           ack.u8_(ok ? 1 : 0);
           conn.send_frame(ack.data());
         } else if (type == kGetAggregate) {
+          if (m_agg_queries_) m_agg_queries_->inc();
           u32 epoch = r.u32_();
           const u8 want_id = r.u8_();
           const std::string want_spec = r.str_();
@@ -363,6 +410,7 @@ class ServerRouter {
           // sides of the disagreement.
           if (want_id != afe::afe_wire_id(*afe_) ||
               want_spec != opts_.afe_spec) {
+            if (m_agg_rejects_) m_agg_rejects_->inc();
             net::Writer w;
             w.u8_(kAggregateReject);
             w.u8_(afe::afe_wire_id(*afe_));
@@ -398,6 +446,7 @@ class ServerRouter {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_conns_;
+      if (g_conns_) g_conns_->set(static_cast<std::int64_t>(active_conns_));
       finished_.push_back(conn_id);  // reaped by serve_clients or stop()
     }
     cv_.notify_all();
@@ -448,6 +497,15 @@ class ServerRouter {
   // Epoch quota (server 0). shard.mu_ -> q_mu_ is the one allowed order.
   std::mutex q_mu_;
   std::map<u32, u64> quota_;  // epoch -> submissions not yet announced
+
+  // Observability instruments (null/empty when opts_.metrics is unset).
+  std::vector<obs::Counter*> m_intake_ok_;  // indexed by shard
+  obs::Counter* m_rej_malformed_ = nullptr;
+  obs::Counter* m_rej_wal_ = nullptr;
+  obs::Gauge* g_conns_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_agg_queries_ = nullptr;
+  obs::Counter* m_agg_rejects_ = nullptr;
 
   // Repair barrier state.
   std::mutex rs_mu_;

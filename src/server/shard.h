@@ -65,6 +65,7 @@
 #include <thread>
 
 #include "net/tcp_transport.h"
+#include "obs/trace.h"
 #include "server/node.h"
 #include "server/protocol.h"
 #include "store/recovery.h"
@@ -104,6 +105,13 @@ struct RuntimeOptions {
   // of a mesh must agree on this (it changes the transport lane count),
   // exactly like --shards.
   size_t pipeline_depth = 1;
+  // Observability (src/obs/): when set, every ShardRuntime and the router
+  // register per-shard counters/histograms/gauges here, and trace emits a
+  // JSONL event per batch lifecycle step. Null = uninstrumented (one
+  // predictable branch per event). Neither is owned; both must outlive the
+  // runtime.
+  obs::Registry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
 };
 
 // One shard's runtime. `Host` is the router (templated to keep this header
@@ -136,6 +144,49 @@ class ShardRuntime {
     require(opts_.pipeline_depth >= 1, "ShardRuntime: pipeline_depth >= 1");
     require(opts_.pipeline_depth < 2 || ctrl_ != nullptr,
             "ShardRuntime: pipeline_depth >= 2 needs a control lane");
+    if (opts_.metrics) {
+      obs::Registry* reg = opts_.metrics;
+      const std::string label = obs::label_kv("shard", lane_id_);
+      m_commits_ = reg->counter("prio_batches_committed_total",
+                                "Verification batches committed", label);
+      m_commit_lat_ = reg->histogram(
+          "prio_stage_commit_seconds",
+          "Batch commit latency (WAL batch record + in-flight release)",
+          label);
+      m_aborts_ = reg->counter(
+          "prio_batch_aborts_total",
+          "Batch attempts aborted by a mesh disruption (later retried)",
+          label);
+      m_resyncs_ = reg->counter("prio_lane_resyncs_total",
+                                "Successful post-disruption lane resyncs "
+                                "(rejoins)",
+                                label);
+      m_misroute_ = reg->counter(
+          "prio_reject_misroute_total",
+          "Announcements naming a client id hashed to a different shard",
+          label);
+      m_spec_mismatch_ = reg->counter(
+          "prio_reject_spec_mismatch_total",
+          "Lane syncs refused over a divergent AFE spec", label);
+      if (pipelined()) {
+        m_pf_slots_ = reg->gauge("prio_prefetch_slots",
+                                 "Prepared batches parked in the prefetch "
+                                 "slot (0 or 1 at depth 2)",
+                                 label);
+        m_pf_batches_ = reg->counter("prio_prefetch_batches_total",
+                                     "Batches prepared ahead by the "
+                                     "prefetch thread",
+                                     label);
+      }
+      g_epoch_ = reg->gauge("prio_lane_epoch", "Lane protocol epoch", label);
+      g_generation_ = reg->gauge("prio_lane_generation",
+                                 "Lane mesh channel-key generation", label);
+      g_processed_ = reg->gauge("prio_lane_processed",
+                                "Submissions processed by this lane", label);
+      g_accepted_ = reg->gauge(
+          "prio_lane_accepted",
+          "Submissions accepted by this lane in the open epoch", label);
+    }
   }
 
   ~ShardRuntime() {
@@ -258,6 +309,7 @@ class ShardRuntime {
     } catch (const net::TransportError& e) {
       repair_and_sync(e.what());
     }
+    update_lane_gauges();
     while (node_->epoch() < opts_.epochs) {
       const u32 closing = node_->epoch();
       // Batch phase: until the lane's share of the epoch quota is done.
@@ -278,6 +330,15 @@ class ShardRuntime {
             // the blobs). The sequencer then re-announces every announced-
             // but-uncommitted id set, in order, minus whatever the
             // catch-up just committed.
+            if (m_aborts_) m_aborts_->inc();
+            if (opts_.trace) {
+              opts_.trace->event(
+                  "batch_aborted",
+                  {{"server", static_cast<long long>(node_->self())},
+                   {"lane", static_cast<long long>(lane_id_)},
+                   {"epoch", static_cast<long long>(closing)},
+                   {"n", static_cast<long long>(slot.ids.size())}});
+            }
             return_slot_blobs(slot);
             repair_and_sync(e.what());
             std::lock_guard<std::mutex> lock(mu_);
@@ -298,6 +359,15 @@ class ShardRuntime {
         } catch (const net::TransportError& e) {
           // The blobs were moved into `shares` for the aborted attempt;
           // put them back so the retry (or a catch-up) can re-use them.
+          if (m_aborts_) m_aborts_->inc();
+          if (opts_.trace) {
+            opts_.trace->event(
+                "batch_aborted",
+                {{"server", static_cast<long long>(node_->self())},
+                 {"lane", static_cast<long long>(lane_id_)},
+                 {"epoch", static_cast<long long>(closing)},
+                 {"n", static_cast<long long>(ids.size())}});
+          }
           {
             std::lock_guard<std::mutex> lock(mu_);
             for (size_t v = 0; v < shares.size(); ++v) {
@@ -339,6 +409,14 @@ class ShardRuntime {
       // Epoch boundary: snapshot + segment rotation (idempotent; the
       // catch-up path may already have rotated for this boundary).
       rotate_store();
+      update_lane_gauges();
+      if (opts_.trace) {
+        opts_.trace->event(
+            "epoch_closed",
+            {{"server", static_cast<long long>(node_->self())},
+             {"lane", static_cast<long long>(lane_id_)},
+             {"epoch", static_cast<long long>(closing)}});
+      }
     }
   }
 
@@ -393,6 +471,7 @@ class ShardRuntime {
           }
         }
         bool close = false;
+        const u64 t0 = obs::now_ns();
         slot.ids = node_->self() == 0
                        ? announce_or_close(closing, &close)
                        : recv_announcement_or_close(closing, &close);
@@ -400,6 +479,17 @@ class ShardRuntime {
         if (!close) {
           slot.shares = assemble(slot.ids, /*track_inflight=*/false);
           node_->prepare_batch(slot.shares, slot.prep);
+          if (m_pf_batches_) m_pf_batches_->inc();
+          if (opts_.trace) {
+            opts_.trace->event(
+                "batch_prepared",
+                {{"server", static_cast<long long>(node_->self())},
+                 {"lane", static_cast<long long>(lane_id_)},
+                 {"epoch", static_cast<long long>(closing)},
+                 {"n", static_cast<long long>(slot.ids.size())},
+                 {"dur_us",
+                  static_cast<long long>((obs::now_ns() - t0) / 1000)}});
+          }
         }
       } catch (...) {
         err = std::current_exception();
@@ -410,6 +500,7 @@ class ShardRuntime {
         pf_err_ = err;
       } else {
         pf_done_.emplace(std::move(slot));
+        if (m_pf_slots_) m_pf_slots_->set(1);
       }
       pf_cv_.notify_all();
     }
@@ -440,6 +531,7 @@ class ShardRuntime {
     }
     Slot slot = std::move(*pf_done_);
     pf_done_.reset();
+    if (m_pf_slots_) m_pf_slots_->set(0);
     return slot;
   }
 
@@ -457,6 +549,7 @@ class ShardRuntime {
     if (pf_done_) {
       return_slot_blobs(*pf_done_);
       pf_done_.reset();
+      if (m_pf_slots_) m_pf_slots_->set(0);
     }
   }
 
@@ -581,6 +674,13 @@ class ShardRuntime {
     for (size_t j = 1; j < seq->num_nodes(); ++j) {
       seq->send(j, w.data(), 1);
     }
+    if (opts_.trace) {
+      opts_.trace->event("batch_announced",
+                         {{"server", static_cast<long long>(node_->self())},
+                          {"lane", static_cast<long long>(lane_id_)},
+                          {"epoch", static_cast<long long>(closing)},
+                          {"n", static_cast<long long>(ids.size())}});
+    }
     return ids;
   }
 
@@ -622,6 +722,13 @@ class ShardRuntime {
       const u64 cid = r.u64_();
       const u64 seq = r.u64_();
       if (shard_of(cid, shards_) != lane_id_) {
+        if (m_misroute_) m_misroute_->inc();
+        std::fprintf(stderr,
+                     "event=misroute server=%zu lane=%zu client_id=%llu "
+                     "expected_shard=%zu\n",
+                     node_->self(), lane_id_,
+                     static_cast<unsigned long long>(cid),
+                     shard_of(cid, shards_));
         throw net::TransportError(
             "announced client id routed to the wrong shard");
       }
@@ -706,6 +813,7 @@ class ShardRuntime {
   // catch-up record a behind peer may ask for, release the in-flight hold.
   void commit_batch(const std::vector<std::pair<u64, u64>>& ids,
                     const std::vector<u8>& verdicts) {
+    const u64 t0 = m_commit_lat_ || opts_.trace ? obs::now_ns() : 0;
     if (store_) {
       store_->append_batch(std::span<const std::pair<u64, u64>>(ids),
                            std::span<const u8>(verdicts));
@@ -725,6 +833,7 @@ class ShardRuntime {
       if (!announced_.empty() && announced_.front() == ids) {
         announced_.pop_front();
       }
+      record_commit(ids.size(), t0);
       return;
     }
     // Anything left was stashed by a previously ABORTED announcement that
@@ -736,6 +845,39 @@ class ShardRuntime {
       if (inserted) intake_order_.push_back(key);
     }
     inflight_blobs_.clear();
+    record_commit(ids.size(), t0);
+  }
+
+  // Commit bookkeeping shared by both commit_batch exits: counters, the
+  // commit-stage latency, the lane-state gauges, and the trace event.
+  void record_commit(size_t n, u64 t0) {
+    if (m_commits_) {
+      m_commits_->inc();
+      m_commit_lat_->observe_ns(obs::now_ns() - t0);
+    }
+    update_lane_gauges();
+    if (opts_.trace) {
+      opts_.trace->event(
+          "batch_committed",
+          {{"server", static_cast<long long>(node_->self())},
+           {"lane", static_cast<long long>(lane_id_)},
+           {"epoch", static_cast<long long>(node_->epoch())},
+           {"n", static_cast<long long>(n)},
+           {"dur_us", static_cast<long long>((obs::now_ns() - t0) / 1000)}});
+    }
+  }
+
+  // Mirrors the node's plain protocol counters into relaxed-atomic gauges
+  // so the stats endpoint can report epoch/generation/shard state without
+  // racing the lane thread. Called only from the lane thread, at points
+  // where the node's state is quiescent (post-commit, post-sync,
+  // post-rotate).
+  void update_lane_gauges() {
+    if (!g_epoch_) return;
+    g_epoch_->set(static_cast<std::int64_t>(node_->epoch()));
+    g_generation_->set(static_cast<std::int64_t>(node_->generation()));
+    g_processed_->set(static_cast<std::int64_t>(node_->processed()));
+    g_accepted_->set(static_cast<std::int64_t>(node_->accepted()));
   }
 
   // Commit-point hook for ServerNode::publish_epoch: the WAL epoch-close
@@ -810,6 +952,12 @@ class ShardRuntime {
       // on purpose -- retrying the sync cannot fix it, so it escapes the
       // repair loop and fails the server immediately.
       if (peer_spec != opts_.afe_spec) {
+        if (m_spec_mismatch_) m_spec_mismatch_->inc();
+        std::fprintf(stderr,
+                     "event=spec_mismatch server=%zu lane=%zu peer=%zu "
+                     "ours=\"%s\" theirs=\"%s\"\n",
+                     node_->self(), lane_id_, j, opts_.afe_spec.c_str(),
+                     peer_spec.c_str());
         throw std::runtime_error("sync: AFE spec mismatch (ours '" +
                                  opts_.afe_spec + "', server " +
                                  std::to_string(j) + " runs '" + peer_spec +
@@ -1016,6 +1164,15 @@ class ShardRuntime {
         // looks for them.
         if (pipelined()) pipeline_reset();
         lane_sync();
+        if (m_resyncs_) m_resyncs_->inc();
+        update_lane_gauges();
+        if (opts_.trace) {
+          opts_.trace->event(
+              "lane_resynced",
+              {{"server", static_cast<long long>(node_->self())},
+               {"lane", static_cast<long long>(lane_id_)},
+               {"generation", static_cast<long long>(node_->generation())}});
+        }
         std::fprintf(
             stderr, "[server %zu lane %zu] resynced (generation %llu)\n",
             node_->self(), lane_id_,
@@ -1084,6 +1241,20 @@ class ShardRuntime {
   std::vector<u8> last_batch_verdicts_;
   // Server 0: this LANE's published aggregates (the router sums lanes).
   std::map<u32, EpochAggregate> published_;
+
+  // Observability instruments (null when opts_.metrics is unset).
+  obs::Counter* m_commits_ = nullptr;
+  obs::Histogram* m_commit_lat_ = nullptr;
+  obs::Counter* m_aborts_ = nullptr;
+  obs::Counter* m_resyncs_ = nullptr;
+  obs::Counter* m_misroute_ = nullptr;
+  obs::Counter* m_spec_mismatch_ = nullptr;
+  obs::Gauge* m_pf_slots_ = nullptr;
+  obs::Counter* m_pf_batches_ = nullptr;
+  obs::Gauge* g_epoch_ = nullptr;
+  obs::Gauge* g_generation_ = nullptr;
+  obs::Gauge* g_processed_ = nullptr;
+  obs::Gauge* g_accepted_ = nullptr;
 };
 
 }  // namespace prio::server

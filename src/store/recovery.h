@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "server/node.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
@@ -69,6 +70,20 @@ class EpochStore {
   FsyncPolicy policy() const { return policy_; }
   SnapshotStore& snapshots() { return snapshots_; }
 
+  // Registers WAL append/fsync latency histograms and a rotation counter
+  // (label e.g. shard="2"). Call during setup, before concurrent appends.
+  void attach_metrics(obs::Registry* registry, const std::string& label) {
+    m_append_ = registry->histogram(
+        "prio_wal_append_seconds",
+        "WAL record append latency (includes the per-record fsync under "
+        "--fsync always)",
+        label);
+    m_fsync_ = registry->histogram("prio_wal_fsync_seconds",
+                                   "Explicit WAL fsync latency", label);
+    m_rotations_ = registry->counter(
+        "prio_wal_rotations_total", "Epoch-boundary segment rotations", label);
+  }
+
   // Points the writer at the segment for `epoch` (recovery calls this once
   // it knows the node's position; rotate() advances it afterwards).
   void open_segment(u32 epoch) {
@@ -89,7 +104,10 @@ class EpochStore {
       return false;
     }
     segment_intake_bytes_ += w.size();
-    wal_->append(kWalIntake, w.data());
+    {
+      obs::ScopedTimer t(m_append_);
+      wal_->append(kWalIntake, w.data());
+    }
     return true;
   }
 
@@ -145,7 +163,11 @@ class EpochStore {
     w.u64_(gen);
     std::lock_guard<std::mutex> lock(mu_);
     require(wal_ != nullptr, "EpochStore: append before open_segment");
-    wal_->append(kWalGeneration, w.data());
+    {
+      obs::ScopedTimer t(m_append_);
+      wal_->append(kWalGeneration, w.data());
+    }
+    obs::ScopedTimer t(m_fsync_);
     require(wal_->sync(), "EpochStore: generation record failed to sync");
   }
 
@@ -170,8 +192,13 @@ class EpochStore {
   void rotate(u32 new_epoch, std::span<const u8> node_snapshot,
               std::span<const CarryOver> carry_over = {}) {
     std::lock_guard<std::mutex> lock(mu_);
-    bool synced = !wal_ || wal_->sync();
-    if (agg_log_) synced = agg_log_->sync() && synced;
+    if (m_rotations_) m_rotations_->inc();
+    bool synced;
+    {
+      obs::ScopedTimer t(m_fsync_);
+      synced = !wal_ || wal_->sync();
+      if (agg_log_) synced = agg_log_->sync() && synced;
+    }
     const bool snap_ok = snapshots_.write(new_epoch, node_snapshot);
     open_segment_locked(new_epoch);
     for (const CarryOver& c : carry_over) {
@@ -188,7 +215,10 @@ class EpochStore {
     // the only copies that verifiably reached the disk, on the strength of
     // replacements that may still be stuck in a failing page cache, is how
     // a recoverable I/O hiccup becomes data loss at the next power cut.
-    synced = wal_->sync() && synced;
+    {
+      obs::ScopedTimer t(m_fsync_);
+      synced = wal_->sync() && synced;
+    }
     if (snap_ok && synced) {
       prune_wal_segments(dir_, new_epoch);
       snapshots_.prune(new_epoch);
@@ -207,6 +237,7 @@ class EpochStore {
   void append(u8 type, std::span<const u8> payload) {
     std::lock_guard<std::mutex> lock(mu_);
     require(wal_ != nullptr, "EpochStore: append before open_segment");
+    obs::ScopedTimer t(m_append_);
     wal_->append(type, payload);
   }
 
@@ -217,6 +248,9 @@ class EpochStore {
   std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<WalWriter> agg_log_;  // server 0: published aggregates
   size_t segment_intake_bytes_ = 0;
+  obs::Histogram* m_append_ = nullptr;
+  obs::Histogram* m_fsync_ = nullptr;
+  obs::Counter* m_rotations_ = nullptr;
 };
 
 // What recovery hands back to the runtime, beyond the restored node: the

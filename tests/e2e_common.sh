@@ -4,8 +4,9 @@
 # range (passed by the caller), so the e2e tests can never collide with
 # each other when ctest runs them concurrently with -j; within the range,
 # every port the run will bind (peer ports base+0..n-1, client ports
-# base+100..100+n-1) is probed first, so collisions with unrelated services
-# are caught before a server ever fails to bind.
+# base+100..100+n-1, stats ports base+200..200+n-1) is probed first, so
+# collisions with unrelated services are caught before a server ever fails
+# to bind.
 
 # pick_port_base <range_start> <range_span> <num_servers>
 # Echoes a base port whose peer and client ports all probed free, or
@@ -17,7 +18,7 @@ pick_port_base() {
     base=$((range_start + RANDOM % range_span))
     local busy=0
     for ((i = 0; i < servers; ++i)); do
-      for off in "$i" "$((100 + i))"; do
+      for off in "$i" "$((100 + i))" "$((200 + i))"; do
         p=$((base + off))
         # A successful connect means something already listens there.
         if (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
@@ -33,6 +34,19 @@ pick_port_base() {
     fi
   done
   return 1
+}
+
+# http_get <port> <path>
+# One-shot HTTP/1.0 GET against 127.0.0.1:<port> via /dev/tcp (no curl
+# dependency); echoes the whole response (headers + body), returns 1 on
+# connect failure. The stats server closes after one response, so reading
+# to EOF terminates.
+http_get() {
+  local port=$1 path=$2
+  exec 9<>"/dev/tcp/127.0.0.1/$port" 2>/dev/null || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&9
+  cat <&9
+  exec 9>&- 9<&- 2>/dev/null
 }
 
 # servers_list <base> <num_servers>

@@ -1,0 +1,242 @@
+// Observability subsystem tests: the metrics registry (exactness under
+// concurrent increments, histogram bucket boundaries, scrape-while-writing
+// -- the TSan target), the Prometheus/JSON renderers, and the HTTP stats
+// endpoint end-to-end through obs::http_get.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
+
+namespace prio {
+namespace {
+
+// N threads x M increments must be exact: counters are the ground truth
+// the e2e stats assertions compare client-side counts against, so lossy
+// updates would not just misreport -- they would fail tests.
+TEST(MetricsCounter, ConcurrentIncrementsAreExact) {
+  obs::Registry reg;
+  constexpr size_t kThreads = 8;
+  constexpr u64 kPerThread = 50'000;
+  std::vector<obs::Counter*> per_thread(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    // Half the threads share one instance, half get their own label --
+    // exercises both the contended and the per-lane layout.
+    per_thread[t] = reg.counter("test_total", "test",
+                                t % 2 ? obs::label_kv("shard", t) : "");
+  }
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (u64 i = 0; i < kPerThread; ++i) per_thread[t]->inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.total("test_total"), kThreads * kPerThread);
+}
+
+TEST(MetricsCounter, SameNameAndLabelReturnsSameInstance) {
+  obs::Registry reg;
+  obs::Counter* a = reg.counter("x_total", "help");
+  obs::Counter* b = reg.counter("x_total", "ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.counter("x_total", "", obs::label_kv("shard", 1)));
+  // Re-registering under a different kind is a wiring bug; fail loudly.
+  EXPECT_THROW(reg.gauge("x_total", ""), std::invalid_argument);
+}
+
+TEST(MetricsGauge, SetAddAndNegativeValues) {
+  obs::Registry reg;
+  obs::Gauge* g = reg.gauge("conns", "open connections");
+  g->set(5);
+  g->add(-2);
+  EXPECT_EQ(g->get(), 3);
+  g->set(-7);
+  EXPECT_EQ(g->get(), -7);
+}
+
+TEST(MetricsHistogram, BucketBoundaries) {
+  obs::Histogram h;
+  // A value exactly on a bound lands in that bound's bucket (le semantics).
+  h.observe(1e-6);  // bucket 0 (le 1us)
+  h.observe(1.1e-6);  // bucket 1 (le 2us)
+  h.observe(2e-6);  // bucket 1
+  h.observe(10.0);  // last finite bucket
+  h.observe(11.0);  // overflow bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(obs::kLatencyBoundsSeconds.size() - 1), 1u);
+  EXPECT_EQ(h.bucket(obs::kLatencyBoundsSeconds.size()), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum_seconds(), 21.0000051, 1e-3);
+}
+
+TEST(MetricsHistogram, QuantilesReportBucketUpperBounds) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.99), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.observe(1.5e-3);  // le 2ms
+  for (int i = 0; i < 10; ++i) h.observe(40e-3);   // le 50ms
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 2e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5e-2);
+  // Overflow observations report the last finite bound.
+  obs::Histogram over;
+  over.observe(99.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.99), 10.0);
+}
+
+TEST(MetricsHistogram, RegistryMergesInstancesAtScrape) {
+  obs::Registry reg;
+  obs::Histogram* a =
+      reg.histogram("lat_seconds", "", obs::label_kv("shard", 0));
+  obs::Histogram* b =
+      reg.histogram("lat_seconds", "", obs::label_kv("shard", 1));
+  for (int i = 0; i < 99; ++i) a->observe(1e-3);
+  b->observe(1.0);
+  EXPECT_EQ(reg.hist_count("lat_seconds"), 100u);
+  EXPECT_DOUBLE_EQ(reg.hist_quantile("lat_seconds", 0.5), 1e-3);
+  EXPECT_DOUBLE_EQ(reg.hist_quantile("lat_seconds", 0.999), 1.0);
+}
+
+TEST(MetricsRender, PrometheusTextFormat) {
+  obs::Registry reg;
+  reg.counter("prio_intake_accepted_total", "accepted submissions",
+              obs::label_kv("shard", 0))->inc(7);
+  reg.gauge("prio_lane_epoch", "current epoch")->set(3);
+  reg.histogram("prio_stage_commit_seconds", "commit latency")
+      ->observe(1.5e-3);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP prio_intake_accepted_total accepted "
+                      "submissions\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE prio_intake_accepted_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prio_intake_accepted_total{shard=\"0\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE prio_lane_epoch gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("prio_lane_epoch 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prio_stage_commit_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: the 2ms bucket and everything above it hold the
+  // one observation; +Inf always equals _count.
+  EXPECT_NE(text.find("prio_stage_commit_seconds_bucket{le=\"0.002\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prio_stage_commit_seconds_bucket{le=\"0.001\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prio_stage_commit_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prio_stage_commit_seconds_count 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRender, JsonSnapshotShape) {
+  obs::Registry reg;
+  reg.counter("a_total", "", obs::label_kv("shard", 0))->inc(2);
+  reg.counter("a_total", "", obs::label_kv("shard", 1))->inc(3);
+  reg.histogram("h_seconds", "")->observe(1e-3);
+  const std::string js = reg.render_json();
+  EXPECT_NE(js.find("\"a_total\": {\"type\": \"counter\", \"total\": 5"),
+            std::string::npos);
+  EXPECT_NE(js.find("\"shard=\\\"1\\\"\": 3"), std::string::npos);
+  EXPECT_NE(js.find("\"h_seconds\": {\"type\": \"histogram\", \"count\": 1"),
+            std::string::npos);
+}
+
+// The TSan target: writers hammer every metric kind while a scraper
+// renders and aggregates concurrently. Correctness assert is only "the
+// final totals are exact"; the point is that TSan sees no race.
+TEST(MetricsScrape, ScrapeWhileWriting) {
+  obs::Registry reg;
+  std::atomic<bool> stop{false};
+  constexpr size_t kWriters = 4;
+  constexpr u64 kPerWriter = 20'000;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      obs::Counter* c =
+          reg.counter("w_total", "", obs::label_kv("shard", t));
+      obs::Gauge* g = reg.gauge("w_gauge", "", obs::label_kv("shard", t));
+      obs::Histogram* h =
+          reg.histogram("w_seconds", "", obs::label_kv("shard", t));
+      for (u64 i = 0; i < kPerWriter; ++i) {
+        c->inc();
+        g->set(static_cast<std::int64_t>(i));
+        h->observe_ns(1000 + i % 7);
+      }
+    });
+  }
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)reg.render_prometheus();
+      (void)reg.render_json();
+      (void)reg.total("w_total");
+      (void)reg.hist_quantile("w_seconds", 0.99);
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(reg.total("w_total"), kWriters * kPerWriter);
+  EXPECT_EQ(reg.hist_count("w_seconds"), kWriters * kPerWriter);
+}
+
+TEST(StatsServerTest, ServesMetricsAndJsonAndRejectsUnknownPaths) {
+  obs::Registry reg;
+  reg.counter("prio_intake_accepted_total", "accepted")->inc(40);
+  reg.histogram("prio_stage_rounds_seconds", "rounds")->observe(2e-3);
+  obs::StatsServer server(0, &reg, [] {
+    return std::string("\"server\": {\"id\": 0}");
+  });
+  ASSERT_NE(server.port(), 0);
+
+  auto metrics = obs::http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->find("prio_intake_accepted_total 40\n"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("# TYPE prio_stage_rounds_seconds histogram"),
+            std::string::npos);
+
+  auto js = obs::http_get("127.0.0.1", server.port(), "/stats.json");
+  ASSERT_TRUE(js.has_value());
+  EXPECT_EQ(js->find("{\n"), 0u);
+  EXPECT_NE(js->find("\"server\": {\"id\": 0}"), std::string::npos);
+  EXPECT_NE(js->find("\"metrics\": "), std::string::npos);
+  EXPECT_NE(js->find("\"prio_intake_accepted_total\""), std::string::npos);
+
+  // Unknown path -> 404 -> http_get reports failure; the server must
+  // survive and keep serving.
+  EXPECT_FALSE(obs::http_get("127.0.0.1", server.port(), "/nope").has_value());
+  EXPECT_TRUE(
+      obs::http_get("127.0.0.1", server.port(), "/metrics").has_value());
+}
+
+TEST(StatsServerTest, TraceLogWritesJsonLines) {
+  const std::string path = ::testing::TempDir() + "/prio_trace_test.jsonl";
+  {
+    auto log = obs::TraceLog::open(path);
+    ASSERT_NE(log, nullptr);
+    log->event("batch_committed", {{"lane", 2}, {"n", 32}});
+    log->event("batch_aborted", {{"lane", 0}, {"epoch", 1}});
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  std::string line1 = buf;
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  std::string line2 = buf;
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(line1.find("\"event\":\"batch_committed\""), std::string::npos);
+  EXPECT_NE(line1.find("\"lane\":2"), std::string::npos);
+  EXPECT_NE(line1.find("\"n\":32"), std::string::npos);
+  EXPECT_NE(line1.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(line2.find("\"event\":\"batch_aborted\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prio

@@ -13,6 +13,7 @@
 #include "core/deployment.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "server/router.h"
 
 namespace prio {
@@ -241,10 +242,14 @@ TEST(ShardedRouterTest, MisroutedSubmissionFailsLoudlyEverywhere) {
   opts.max_resyncs = 1;  // loopback cannot reestablish; fail fast
 
   net::LoopbackMesh mesh(kServers, /*recv_timeout_ms=*/1'000, kShards);
+  std::vector<std::unique_ptr<obs::Registry>> regs;
   std::vector<std::unique_ptr<ShardedServer>> servers;
   for (size_t i = 0; i < kServers; ++i) {
+    regs.push_back(std::make_unique<obs::Registry>());
+    server::RuntimeOptions sopts = opts;
+    sopts.metrics = regs.back().get();
     servers.push_back(
-        std::make_unique<ShardedServer>(afe, mesh, i, kShards, opts));
+        std::make_unique<ShardedServer>(afe, mesh, i, kShards, sopts));
   }
   for (size_t i = 0; i < kServers; ++i) {
     for (const auto& sub : w.subs) {
@@ -276,6 +281,70 @@ TEST(ShardedRouterTest, MisroutedSubmissionFailsLoudlyEverywhere) {
   for (size_t i = 0; i < kServers; ++i) {
     EXPECT_EQ(servers[i]->nodes[1]->accepted(), 0u) << "server " << i;
   }
+  // The reject is visible in the followers' metrics: the announcement
+  // names the bad id, so every receiving server counts one misroute on
+  // the injected lane. The announcer (server 0) never receives its own
+  // announcement and counts nothing.
+  EXPECT_EQ(regs[0]->total("prio_reject_misroute_total"), 0u);
+  for (size_t i = 1; i < kServers; ++i) {
+    EXPECT_GE(regs[i]->total("prio_reject_misroute_total"), 1u)
+        << "server " << i;
+  }
+  for (size_t i = 0; i < kServers; ++i) {
+    EXPECT_EQ(regs[i]->total("prio_reject_spec_mismatch_total"), 0u);
+    EXPECT_GE(regs[i]->total("prio_batch_aborts_total"), 0u);
+  }
+}
+
+// Divergent AFE configuration must fail every server at lane sync (the
+// circuits would disagree on every batch) -- and the reject is counted
+// under prio_reject_spec_mismatch_total on each server that saw the
+// divergent peer's hello.
+TEST(ShardedRouterTest, SpecMismatchFailsSyncAndCountsReject) {
+  Afe afe(6);
+  constexpr size_t kShards = 1;
+
+  server::RuntimeOptions opts;
+  opts.epoch_size = 4;
+  opts.max_batch = 4;
+  opts.epochs = 1;
+  opts.announce_wait_ms = 2'000;
+  opts.linger_ms = 25;
+  opts.max_resyncs = 1;
+
+  net::LoopbackMesh mesh(kServers, /*recv_timeout_ms=*/2'000, kShards);
+  std::vector<std::unique_ptr<obs::Registry>> regs;
+  std::vector<std::unique_ptr<ShardedServer>> servers;
+  for (size_t i = 0; i < kServers; ++i) {
+    regs.push_back(std::make_unique<obs::Registry>());
+    server::RuntimeOptions sopts = opts;
+    sopts.metrics = regs.back().get();
+    // Server 1 is misconfigured with a different AFE spec.
+    sopts.afe_spec = i == 1 ? "bitvec_sum:len=7" : "bitvec_sum:len=6";
+    servers.push_back(
+        std::make_unique<ShardedServer>(afe, mesh, i, kShards, sopts));
+  }
+
+  std::vector<int> failed(kServers, 0);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kServers; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        servers[i]->router.run_epochs();
+      } catch (const std::exception&) {
+        failed[i] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < kServers; ++i) {
+    EXPECT_EQ(failed[i], 1) << "server " << i << " survived a spec mismatch";
+  }
+  // Servers 0 and 2 each saw server 1's divergent hello; server 1 saw two.
+  EXPECT_GE(regs[0]->total("prio_reject_spec_mismatch_total"), 1u);
+  EXPECT_GE(regs[1]->total("prio_reject_spec_mismatch_total"), 1u);
+  EXPECT_GE(regs[2]->total("prio_reject_spec_mismatch_total"), 1u);
 }
 
 // ---------------------------------------------------------------------------

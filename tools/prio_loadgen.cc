@@ -49,6 +49,15 @@
 // with per-mix arrival rate, accept/reject counts, p50/p95/p99 submission
 // latency, ack RTT, scheduler lag, and publish wait (the intake-vs-
 // verification backpressure signals). --smoke shrinks the run for CI.
+//
+// --scrape self attaches an obs::Registry to every in-process cluster and
+// pulls server 0's /stats.json after each component finishes, merging the
+// server-side stage histograms (prepare/rounds/commit latency, intake and
+// verify counters) into the report next to the client-side numbers;
+// --scrape HOST:PORT instead scrapes an already-running external
+// prio_server --stats-port once at the end of the run. --scrape-out FILE
+// additionally writes the raw scraped JSON to its own file (the CI
+// artifact next to BENCH_loadgen.json).
 
 #include <algorithm>
 #include <atomic>
@@ -66,6 +75,7 @@
 #include "afe/registry.h"
 #include "bench_util.h"
 #include "core/deployment.h"
+#include "obs/stats_server.h"
 #include "server/cli.h"
 #include "server/inproc.h"
 #include "server/protocol.h"
@@ -87,6 +97,7 @@ struct LoadConfig {
   size_t workers = 4;  // per component
   size_t shards = 2;
   size_t pipeline_depth = 1;  // >= 2 prefetches batch N+1 during batch N
+  bool scrape_self = false;   // attach metrics + scrape each cluster
   u64 seed = 42;
   u64 master_seed = 1;
 };
@@ -106,6 +117,7 @@ struct ComponentReport {
   std::vector<Sample> samples;
   double publish_wait_ms[2] = {0, 0};
   double duration_s = 0;
+  std::string server_stats;  // server 0's /stats.json body (--scrape self)
   std::string error;
 };
 
@@ -268,6 +280,7 @@ ComponentReport run_component(const Afe& afe, const afe::AfeSpec& spec,
   copts.runtime.announce_wait_ms = 120'000;
   copts.runtime.afe_spec = spec.canonical();
   copts.runtime.pipeline_depth = cfg.pipeline_depth;
+  copts.stats = cfg.scrape_self;
   server::InprocCluster<F, Afe> cluster(&afe, copts);
 
   net::FramedConn agg_conn(
@@ -346,6 +359,14 @@ ComponentReport run_component(const Afe& afe, const afe::AfeSpec& spec,
   // open clients a 10 s grace that would pad every component with it.
   agg_conn.shutdown_rw();
   cluster.finish();  // join servers; rethrows any server-side failure
+  if (cfg.scrape_self) {
+    // All lanes are quiescent after finish(): the scrape sees the final
+    // stage histograms and counter totals for this component's run.
+    auto body =
+        obs::http_get("127.0.0.1", cluster.stats_port(), "/stats.json");
+    require(body.has_value(), "loadgen: scrape of own cluster failed");
+    rep.server_stats = *body;
+  }
 
   // ---- simnet oracle, fed the same bytes in the same arrival order -----
   auto to_batch = [&](const std::vector<PhaseItem>& items) {
@@ -398,7 +419,8 @@ std::vector<MixDef> builtin_mixes() {
 // independent clusters, one merged arrival timeline at the mix's offered
 // rate split by weight) and reduces the reports into JSON keys.
 bool run_mix(const MixDef& mix, const LoadConfig& cfg,
-             benchutil::JsonWriter& json) {
+             benchutil::JsonWriter& json,
+             std::vector<std::pair<std::string, std::string>>* scrapes) {
   std::printf("[loadgen] mix '%s': %zu components, %zu clients/epoch, "
               "%.0f arrivals/s\n",
               mix.name.c_str(), mix.components.size(), cfg.clients,
@@ -463,6 +485,10 @@ bool run_mix(const MixDef& mix, const LoadConfig& cfg,
     json.kv(p + ".replays", static_cast<unsigned long long>(r.replays));
     json.raw(p + ".oracle_match",
              r.match[0] && r.match[1] ? "true" : "false");
+    if (!r.server_stats.empty()) {
+      json.raw(p + ".server_stats", r.server_stats);
+      if (scrapes) scrapes->emplace_back(p, r.server_stats);
+    }
     const bool counts_ok =
         r.tcp_accepted[0] == r.uniques - r.tampered &&
         r.tcp_accepted[1] == r.fresh;
@@ -524,6 +550,9 @@ int main(int argc, char** argv) {
             "--pipeline-depth must be 1..8");
     cfg.seed = flags.num("seed", 42);
     cfg.master_seed = flags.num("master-seed", 1);
+    const std::string scrape = flags.str("scrape", "");
+    cfg.scrape_self = scrape == "self";
+    const std::string scrape_out = flags.str("scrape-out", "");
     require(cfg.rate_hz > 0 && cfg.workers >= 1, "bad --rate/--workers");
     require(cfg.tamper_frac >= 0 && cfg.tamper_frac <= 0.5 &&
                 cfg.replay_frac >= 0 && cfg.replay_frac <= 0.5,
@@ -546,12 +575,38 @@ int main(int argc, char** argv) {
 
     bool all_ok = true;
     size_t ran = 0;
+    std::vector<std::pair<std::string, std::string>> scrapes;
     for (const auto& mix : builtin_mixes()) {
       if (which != "all" && which != mix.name) continue;
-      all_ok = run_mix(mix, cfg, json) && all_ok;
+      all_ok = run_mix(mix, cfg, json, &scrapes) && all_ok;
       ++ran;
     }
     require(ran > 0, "--mix must be telemetry, analytics, or all");
+
+    // External scrape: one /stats.json pull from a running prio_server
+    // --stats-port (e.g. a cluster this loadgen is NOT driving in-process).
+    if (!scrape.empty() && scrape != "self") {
+      const size_t colon = scrape.rfind(':');
+      require(colon != std::string::npos && colon + 1 < scrape.size(),
+              "--scrape must be 'self' or HOST:PORT");
+      const std::string host = scrape.substr(0, colon);
+      const int port = std::stoi(scrape.substr(colon + 1));
+      auto body = obs::http_get(host, static_cast<u16>(port), "/stats.json");
+      require(body.has_value(), "loadgen: scrape of --scrape target failed");
+      json.raw("server_stats", *body);
+      scrapes.emplace_back("external", *body);
+    }
+    if (!scrape_out.empty() && !scrapes.empty()) {
+      std::ofstream sf(scrape_out);
+      sf << "{\n";
+      for (size_t i = 0; i < scrapes.size(); ++i) {
+        sf << "\"" << scrapes[i].first << "\": " << scrapes[i].second
+           << (i + 1 < scrapes.size() ? "," : "") << "\n";
+      }
+      sf << "}\n";
+      std::printf("[loadgen] wrote %s (%zu scrape%s)\n", scrape_out.c_str(),
+                  scrapes.size(), scrapes.size() == 1 ? "" : "s");
+    }
     json.raw("all_match", all_ok ? "true" : "false");
 
     std::ofstream f(out);
