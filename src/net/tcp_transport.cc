@@ -1,6 +1,7 @@
 #include "net/tcp_transport.h"
 
 #include "net/channel.h"
+#include "store/fault.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -323,6 +324,22 @@ void TcpMeshTransport::send_lane(size_t lane, size_t to, std::vector<u8> frame,
     lane_metrics_[lane].bytes->inc(frame.size());
   }
   PeerLink& link = *links_[to];
+  // Injected mesh faults (store/fault.h): a slow peer stalls the frame, a
+  // partition loses it and downs the link exactly like a failed socket
+  // write -- the interrupt/reestablish repair protocol takes over. The
+  // establish() hello handshake bypasses send_lane and is never faulted.
+  if (auto fault = store::fault_tick(store::FaultOp::kMeshSend)) {
+    if (fault->kind == store::FaultKind::kDelay) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(fault->arg ? fault->arg : 10));
+    } else {
+      std::lock_guard<std::mutex> lock(link.mu);
+      link.down = true;
+      if (link.down_reason.empty()) link.down_reason = "injected partition";
+      link.cv.notify_all();
+      throw TransportError("injected partition to s" + std::to_string(to));
+    }
+  }
   // One frame hits the socket at a time; the link mutex is only taken
   // briefly to check liveness so a blocked reader never delays a sender.
   std::lock_guard<std::mutex> send_lock(link.send_mu);

@@ -55,6 +55,7 @@
 #include "obs/trace.h"
 #include "server/cli.h"
 #include "server/router.h"
+#include "store/fault.h"
 #include "store/recovery.h"
 
 using namespace prio;
@@ -62,6 +63,10 @@ using namespace prio;
 namespace {
 
 using F = Fp64;
+
+// The installed --fault-plan (chaos testing, store/fault.h). Process-wide
+// and immortal: the seams may tick it from any thread until exit.
+std::unique_ptr<store::FaultPlan> g_fault_plan;
 
 // The whole runtime for one concrete AFE type; instantiated once per
 // catalogue entry by the with_afe dispatch in main.
@@ -73,6 +78,22 @@ int run_server(const Afe& afe, const afe::AfeSpec& spec,
   const size_t id = flags.num("id", 0);
   require(id < endpoints.size(), "--id out of range of --servers");
   const size_t shards = common.shards;
+
+  // Seeded fault injection (--fault-plan SPEC, store/fault.h): armed
+  // before any store or mesh exists so the very first I/O can fault.
+  if (flags.has("fault-plan")) {
+    const std::string spec = flags.str("fault-plan", "");
+    std::string err;
+    auto plan = store::FaultPlan::parse(spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "prio_server: bad --fault-plan: %s\n", err.c_str());
+      return 1;
+    }
+    g_fault_plan = std::make_unique<store::FaultPlan>(std::move(*plan));
+    store::install_fault_plan(g_fault_plan.get());
+    std::fprintf(stderr, "[server %zu] fault plan armed: %s\n", id,
+                 spec.c_str());
+  }
 
   ServerNodeConfig base_cfg;
   base_cfg.num_servers = endpoints.size();

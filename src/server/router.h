@@ -155,6 +155,15 @@ class ServerRouter {
   // converges instead of ping-ponging.
   void repair_mesh(const std::string& /*reason: logged by the lane*/) {
     std::unique_lock<std::mutex> lock(rs_mu_);
+    // A sibling lane already died with a non-mesh error (e.g. the
+    // durability substrate refused a commit). The mesh cannot be repaired
+    // around a dead lane -- peers would block on its traffic forever -- so
+    // refuse to repair: every surviving lane fails out of its resync
+    // budget fast, run_epochs rethrows the root cause, and the process
+    // exits so a supervisor can restart it into recovery + rejoin.
+    if (lane_fatal_) {
+      throw net::TransportError("sibling lane failed; server going down");
+    }
     if (!rs_active_) {
       rs_active_ = true;
       ++rs_round_;
@@ -170,8 +179,11 @@ class ServerRouter {
     ++rs_parked_;
     rs_cv_.notify_all();
     rs_cv_.wait(lock, [&] {
-      return rs_parked_ >= live_lanes_ || rs_round_ != round;
+      return lane_fatal_ || rs_parked_ >= live_lanes_ || rs_round_ != round;
     });
+    if (lane_fatal_) {
+      throw net::TransportError("sibling lane failed; server going down");
+    }
     if (rs_round_ == round && !rs_leader_chosen_) {
       rs_leader_chosen_ = true;
       lock.unlock();
@@ -227,29 +239,34 @@ class ServerRouter {
     {
       std::lock_guard<std::mutex> lock(rs_mu_);
       live_lanes_ = shards_.size();
+      lane_fatal_ = false;
     }
-    std::vector<std::exception_ptr> errors(shards_.size());
+    // first_error holds the ROOT-CAUSE exception: the first lane to die.
+    // Siblings subsequently fail out of the poisoned repair barrier with
+    // secondary "sibling lane failed" errors that must not mask it.
+    std::exception_ptr first_error;
     std::vector<std::thread> threads;
     threads.reserve(shards_.size());
     for (size_t i = 0; i < shards_.size(); ++i) {
-      threads.emplace_back([this, i, &errors] {
+      threads.emplace_back([this, i, &first_error] {
         try {
           shards_[i]->run_lane();
+        } catch (const std::exception& e) {
+          lane_failed(i, e.what(), &first_error, std::current_exception());
         } catch (...) {
-          errors[i] = std::current_exception();
+          lane_failed(i, "unknown error", &first_error,
+                      std::current_exception());
         }
         lane_exited();
       });
     }
     for (auto& t : threads) t.join();
-    for (auto& e : errors) {
-      if (e) {
-        // A fatal lane can leave a sibling's prefetch thread blocked in a
-        // mesh recv; interrupt so shard teardown joins it immediately
-        // instead of waiting out the transport timeout.
-        mesh_->interrupt();
-        std::rethrow_exception(e);
-      }
+    if (first_error) {
+      // A fatal lane can leave a sibling's prefetch thread blocked in a
+      // mesh recv; interrupt so shard teardown joins it immediately
+      // instead of waiting out the transport timeout.
+      mesh_->interrupt();
+      std::rethrow_exception(first_error);
     }
     if (self() == 0) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -338,6 +355,28 @@ class ServerRouter {
       if (live_lanes_ > 0) --live_lanes_;
     }
     rs_cv_.notify_all();
+  }
+
+  // A lane died with an error the repair machinery cannot fix (a WAL or
+  // snapshot failure, an exhausted resync budget). Without intervention
+  // the process would stay half-alive: run_epochs joins ALL lanes before
+  // rethrowing, and sibling lanes -- local and on peer servers -- would
+  // block forever on the dead lane's mesh traffic. Poison the repair
+  // barrier and wake everything, so every surviving lane fails fast,
+  // run_epochs rethrows, and the server exits loudly for its supervisor
+  // to restart into recovery + rejoin.
+  void lane_failed(size_t lane, const char* what,
+                   std::exception_ptr* first_error, std::exception_ptr err) {
+    {
+      std::lock_guard<std::mutex> lock(rs_mu_);
+      if (!*first_error) *first_error = std::move(err);
+      lane_fatal_ = true;
+    }
+    std::fprintf(stderr, "[server %zu] lane %zu failed (%s); shutting down\n",
+                 self(), lane, what);
+    rs_cv_.notify_all();
+    mesh_->interrupt();
+    for (Shard* s : shards_) s->interrupt_waiters();
   }
 
   // Callers hold q_mu_ (or run single-threaded setup).
@@ -509,6 +548,7 @@ class ServerRouter {
 
   // Repair barrier state.
   std::mutex rs_mu_;
+  bool lane_fatal_ = false;  // terminal: a lane died, server is going down
   std::condition_variable rs_cv_;
   bool rs_active_ = false;
   bool rs_leader_chosen_ = false;

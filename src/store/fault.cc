@@ -1,0 +1,160 @@
+#include "store/fault.h"
+
+#include <cstdlib>
+
+namespace prio::store {
+
+namespace detail {
+std::atomic<FaultPlan*> g_fault_plan{nullptr};
+}
+
+void install_fault_plan(FaultPlan* plan) {
+  detail::g_fault_plan.store(plan, std::memory_order_release);
+}
+
+FaultPlan* installed_fault_plan() {
+  return detail::g_fault_plan.load(std::memory_order_acquire);
+}
+
+const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kWalAppend: return "wal_append";
+    case FaultOp::kWalSync: return "wal_sync";
+    case FaultOp::kSnapshotWrite: return "snap_write";
+    case FaultOp::kDirFsync: return "dir_fsync";
+    case FaultOp::kMeshSend: return "mesh_send";
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::optional<FaultRule> FaultPlan::tick(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 n = seen_[static_cast<size_t>(op)]++;
+  for (const FaultRule& rule : rules_) {
+    if (rule.op != op) continue;
+    if (n >= rule.after && n < rule.after + rule.count) {
+      ++fired_[static_cast<size_t>(op)];
+      return rule;
+    }
+  }
+  return std::nullopt;
+}
+
+u64 FaultPlan::seen(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_[static_cast<size_t>(op)];
+}
+
+u64 FaultPlan::fired(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_[static_cast<size_t>(op)];
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool parse_op(const std::string& name, FaultOp* out) {
+  for (size_t i = 0; i < kNumFaultOps; ++i) {
+    if (name == fault_op_name(static_cast<FaultOp>(i))) {
+      *out = static_cast<FaultOp>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_kind(const std::string& name, FaultKind* out) {
+  for (FaultKind k : {FaultKind::kEio, FaultKind::kShortWrite,
+                      FaultKind::kDelay, FaultKind::kDrop}) {
+    if (name == fault_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_u64(const std::string& text, u64* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::vector<FaultRule> rules;
+  for (const std::string& part : split(spec, ';')) {
+    if (part.empty()) continue;
+    const auto fields = split(part, ':');
+    if (fields.size() < 2 || fields.size() > 3) {
+      return fail("rule '" + part + "' is not op:kind[:params]");
+    }
+    FaultRule rule;
+    if (!parse_op(fields[0], &rule.op)) {
+      return fail("unknown fault op '" + fields[0] + "'");
+    }
+    if (!parse_kind(fields[1], &rule.kind)) {
+      return fail("unknown fault kind '" + fields[1] + "'");
+    }
+    if (fields.size() == 3) {
+      for (const std::string& kv : split(fields[2], ',')) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          return fail("param '" + kv + "' is not key=value");
+        }
+        const std::string key = kv.substr(0, eq);
+        u64 value = 0;
+        if (!parse_u64(kv.substr(eq + 1), &value)) {
+          return fail("param '" + kv + "' has a non-numeric value");
+        }
+        if (key == "after") {
+          rule.after = value;
+        } else if (key == "count") {
+          rule.count = value;
+        } else if (key == "arg" || key == "ms" || key == "bytes") {
+          rule.arg = value;
+        } else {
+          return fail("unknown param '" + key + "'");
+        }
+      }
+    }
+    if (rule.count == 0) return fail("count=0 rule would never fire");
+    rules.push_back(rule);
+  }
+  return FaultPlan(std::move(rules));
+}
+
+}  // namespace prio::store

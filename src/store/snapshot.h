@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "store/fault.h"
 #include "store/wal.h"
 #include "util/common.h"
 
@@ -150,6 +151,9 @@ class SnapshotStore {
   // what it superseded.
   bool write_rename(const std::string& final_path,
                     std::span<const u8> bytes) const {
+    // Injected publish failure: report it exactly like a real one -- the
+    // previous file set stays intact, the caller must not prune against it.
+    if (fault_tick(FaultOp::kSnapshotWrite)) return false;
     const std::string tmp = final_path + ".tmp";
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) return false;

@@ -5,6 +5,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "store/fault.h"
+
 #include <algorithm>
 #include <array>
 #include <cerrno>
@@ -30,6 +32,9 @@ std::array<u32, 256> make_crc_table() {
 }  // namespace
 
 void fsync_dir(const std::string& dir) {
+  // Injected failure: the directory fsync "fails" (is skipped). The
+  // contract is best-effort, so callers must proceed identically.
+  if (fault_tick(FaultOp::kDirFsync)) return;
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;
   ::fsync(fd);
@@ -81,6 +86,11 @@ WalWriter::WalWriter(const std::string& path, FsyncPolicy policy)
     throw std::runtime_error("WalWriter: cannot open " + path_ + " (errno=" +
                              std::to_string(errno) + ")");
   }
+  // Whatever the file holds now is the clean prefix a failed append may
+  // cut back to ("ab" puts every write at the end regardless of position).
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  clean_bytes_ = end > 0 ? static_cast<size_t>(end) : 0;
 }
 
 WalWriter::~WalWriter() { close_file(); }
@@ -107,9 +117,31 @@ void WalWriter::append(u8 type, std::span<const u8> payload) {
   put_le32(rec, crc);
   rec.push_back(type);
   rec.insert(rec.end(), payload.begin(), payload.end());
+  if (poisoned_) {
+    throw std::runtime_error("WalWriter: " + path_ +
+                             " is poisoned by an unrepaired failed append");
+  }
+  if (auto fault = fault_tick(FaultOp::kWalAppend)) {
+    if (fault->kind == FaultKind::kShortWrite) {
+      // Land a real partial record so the repair path below has a genuine
+      // torn prefix to clean up, then fail the append like a full disk.
+      const size_t cut = std::min(
+          rec.size() - 1,
+          fault->arg ? static_cast<size_t>(fault->arg) : rec.size() / 2);
+      (void)std::fwrite(rec.data(), 1, cut, file_);
+      repair_failed_append();
+      throw std::runtime_error("WalWriter: short write to " + path_ +
+                               " (injected)");
+    }
+    throw std::runtime_error("WalWriter: injected EIO on append to " + path_);
+  }
   if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size()) {
+    repair_failed_append();
     throw std::runtime_error("WalWriter: short write to " + path_);
   }
+  // The record is whole from here on -- even if the kAlways fsync below
+  // fails, the clean prefix includes it (a repair must never cut it).
+  clean_bytes_ += rec.size();
   if (policy_ == FsyncPolicy::kAlways) {
     if (!sync()) {
       throw std::runtime_error("WalWriter: fsync failed on " + path_);
@@ -121,8 +153,22 @@ void WalWriter::append(u8 type, std::span<const u8> payload) {
   }
 }
 
+void WalWriter::repair_failed_append() {
+  // Flush any buffered fragment into the file first: bytes still sitting
+  // in stdio's buffer would otherwise be appended AFTER the truncate, past
+  // the point where replay stops at the first bad CRC.
+  const bool flushed = std::fflush(file_) == 0;
+  const bool cut = ::ftruncate(::fileno(file_),
+                               static_cast<off_t>(clean_bytes_)) == 0;
+  if (!flushed || !cut) poisoned_ = true;
+}
+
 bool WalWriter::sync() {
   require(file_ != nullptr, "WalWriter: sync after close");
+  if (auto fault = fault_tick(FaultOp::kWalSync)) {
+    (void)fault;
+    return false;  // injected EIO: the caller must keep older copies
+  }
   bool ok = std::fflush(file_) == 0;
   if (policy_ != FsyncPolicy::kOff) {
     ok = (::fsync(::fileno(file_)) == 0) && ok;

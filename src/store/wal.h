@@ -105,7 +105,12 @@ class WalWriter {
 
   // Frames, writes, and (policy kAlways) fsyncs one record. Throws if the
   // write -- or, under kAlways, the fsync -- fails, so the caller nacks
-  // instead of acking durability the disk refused.
+  // instead of acking durability the disk refused. A partial write is
+  // repaired in place: the file is cut back to the last whole record, so a
+  // later append can never land beyond a torn prefix that replay (which
+  // stops at the first bad CRC) could not cross. If the disk refuses even
+  // the repair, the writer poisons itself and every further append throws
+  // -- nothing may be acked into an unreachable suffix.
   void append(u8 type, std::span<const u8> payload);
 
   // Flushes and fsyncs regardless of policy except kOff (epoch boundaries).
@@ -116,10 +121,16 @@ class WalWriter {
   void close_file();
 
  private:
+  // Cuts the file back to clean_bytes_ after a failed record write;
+  // poisons the writer if the repair itself fails.
+  void repair_failed_append();
+
   std::string path_;
   u32 epoch_ = 0;
   FsyncPolicy policy_;
   std::FILE* file_ = nullptr;
+  size_t clean_bytes_ = 0;  // offset after the last fully written record
+  bool poisoned_ = false;   // a failed append could not be repaired
 };
 
 // The decoded clean prefix of one segment.

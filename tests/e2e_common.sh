@@ -7,6 +7,12 @@
 # base+100..100+n-1, stats ports base+200..200+n-1) is probed first, so
 # collisions with unrelated services are caught before a server ever fails
 # to bind.
+#
+# The range map (keep new consumers disjoint):
+#   21000-28999  e2e_localhost.sh
+#   31000-38999  e2e_crash_recovery.sh
+#   41000-48999  e2e_sharded.sh
+#   49000-56999  tools/prio_chaos.cc (same probe discipline, in C++)
 
 # pick_port_base <range_start> <range_span> <num_servers>
 # Echoes a base port whose peer and client ports all probed free, or
@@ -58,4 +64,81 @@ servers_list() {
     out+="${out:+,}127.0.0.1:$((base + i)):$((base + 100 + i))"
   done
   echo "$out"
+}
+
+# e2e_cleanup
+# Shared EXIT-trap body: kills every pid in the caller's $pids array,
+# reaps, and removes $datadir when the script uses one. Callers declare
+# `pids=()` (and optionally `datadir=""`) then `trap e2e_cleanup EXIT`.
+e2e_cleanup() {
+  local pid
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+  [[ -n "${datadir:-}" ]] && rm -rf "$datadir"
+  return 0
+}
+
+# run_with_port_retries <name> <range_start> <range_span> <servers> <fn> [arg...]
+# The shared attempt driver: picks a probed-free port base in the script's
+# range and calls `fn <base> [arg...]`, retrying once on a fresh base
+# (probed ports can still race an unrelated service binding between the
+# probe and the server's bind). Prints "<name>: PASS (port base N)" on
+# success; returns 1 when both attempts fail.
+run_with_port_retries() {
+  local name=$1 range_start=$2 range_span=$3 servers=$4 fn=$5
+  shift 5
+  local attempt base
+  for attempt in 1 2; do
+    base=$(pick_port_base "$range_start" "$range_span" "$servers") || {
+      echo "$name: no free port base found" >&2
+      continue
+    }
+    if "$fn" "$base" "$@"; then
+      echo "$name: PASS (port base $base)"
+      return 0
+    fi
+    echo "$name: attempt on port base $base failed; retrying" >&2
+    e2e_cleanup
+    datadir=""
+  done
+  return 1
+}
+
+# newest_wal_segment <store_dir>
+# Echoes the path of the newest WAL segment under <store_dir> (empty when
+# none exist yet).
+newest_wal_segment() {
+  ls "$1"/wal-*.log 2>/dev/null | sort | tail -1
+}
+
+# append_torn_tail <segment>
+# Appends a few bytes of garbage to a WAL segment: a torn tail that
+# recovery must truncate at the first bad CRC.
+append_torn_tail() {
+  printf '\xde\xad\xbe\xef\x17' >> "$1"
+}
+
+# drop_trailing_batch_record <segment> <record_bytes> <body_bytes>
+# Truncates the LAST <record_bytes> of <segment> ONLY after verifying they
+# really are one whole batch record ([u32 len=<body_bytes>][u32 crc]
+# [type=2 || payload]; sizes depend on --batch, keep in sync with
+# store/recovery.h). A blind truncate could slice an intake record
+# mid-body under rare kill timing -- recovery would then discard an acked
+# blob a retained batch record still accepts and fail outright. Returns 0
+# if the record was dropped, 1 if it was not there (the batch was never
+# committed; the plain announcement retry covers it).
+drop_trailing_batch_record() {
+  local seg=$1 record=$2 body=$3
+  local size rec_len rec_type
+  size=$(wc -c < "$seg")
+  [[ "$size" -ge "$record" ]] || return 1
+  rec_len=$(od -An -tu4 -j $((size - record)) -N4 "$seg" | tr -d ' ')
+  rec_type=$(od -An -tu1 -j $((size - record + 8)) -N1 "$seg" | tr -d ' ')
+  if [[ "$rec_len" == "$body" && "$rec_type" == "2" ]]; then
+    truncate -s -"$record" "$seg"
+    return 0
+  fi
+  return 1
 }

@@ -28,21 +28,15 @@ MASTER_SEED=9
 # keeps the server argv byte-identical to previous releases of this script.
 PIPELINE_DEPTH=${PIPELINE_DEPTH:-1}
 
-# This script's port range: 31000-38999 (e2e_localhost.sh uses
-# 21000-28999, so concurrent ctest runs of the two can never collide).
+# This script's port range: 31000-38999 (see the range map in
+# e2e_common.sh -- disjoint per consumer, so concurrent ctest runs can
+# never collide).
 PORT_RANGE_START=31000
 PORT_RANGE_SPAN=8000
 
 pids=()
 datadir=""
-cleanup() {
-  for pid in "${pids[@]:-}"; do
-    kill "$pid" 2>/dev/null
-  done
-  wait 2>/dev/null
-  [[ -n "$datadir" ]] && rm -rf "$datadir"
-}
-trap cleanup EXIT
+trap e2e_cleanup EXIT
 
 run_attempt() {
   local base=$1
@@ -89,32 +83,18 @@ run_attempt() {
   # victim's WAL -- the batch-3 commit -- so the restarted server recovers
   # at 16/24 and must be caught up over the mesh (kCatchUpBatch) before
   # the epoch can continue. The record is 8 (len+crc) + 1 (type) + 4 +
-  # 8*16 (ids) + 4+1 (verdict bitmap) = 146 bytes for --batch 8; keep in
-  # sync with store/recovery.h's layout. ONLY drop it after verifying the
-  # trailing 146 bytes really are one whole batch record (body length 138,
-  # type 2): the kill may land before batch 3's record was written, and a
-  # blind truncate would then slice an intake record mid-body -- recovery
-  # would discard an acked blob a retained batch record still accepts and
-  # fail outright. When the record isn't there the batch was never
-  # committed anywhere and the plain announcement retry covers it.
-  # Then append garbage: a torn tail recovery must truncate at the first
-  # bad CRC.
+  # 8*16 (ids) + 4+1 (verdict bitmap) = 146 bytes (body 138) for --batch 8.
+  # drop_trailing_batch_record verifies the trailing bytes really are that
+  # record before cutting (the kill may land before batch 3's record was
+  # written). Then append garbage: a torn tail recovery must truncate at
+  # the first bad CRC.
   local seg
-  seg=$(ls "$datadir/s2"/wal-*.log 2>/dev/null | sort | tail -1)
+  seg=$(newest_wal_segment "$datadir/s2")
   if [[ -n "$seg" ]]; then
-    local size rec_len rec_type
-    size=$(wc -c < "$seg")
-    if [[ "$size" -ge 146 ]]; then
-      rec_len=$(od -An -tu4 -j $((size - 146)) -N4 "$seg" | tr -d ' ')
-      rec_type=$(od -An -tu1 -j $((size - 138)) -N1 "$seg" | tr -d ' ')
-      if [[ "$rec_len" == "138" && "$rec_type" == "2" ]]; then
-        truncate -s -146 "$seg"
-      else
-        echo "e2e_crash_recovery: batch-3 record not yet in WAL;" \
-             "skipping the forced catch-up drop" >&2
-      fi
-    fi
-    printf '\xde\xad\xbe\xef\x17' >> "$seg"
+    drop_trailing_batch_record "$seg" 146 138 ||
+      echo "e2e_crash_recovery: batch-3 record not yet in WAL;" \
+           "skipping the forced catch-up drop" >&2
+    append_torn_tail "$seg"
   fi
 
   # Restart from the same data dir; recovery + mesh rejoin are automatic.
@@ -142,18 +122,9 @@ run_attempt() {
   return "$rc"
 }
 
-for attempt in 1 2; do
-  base=$(pick_port_base "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3) || {
-    echo "e2e_crash_recovery: no free port base found" >&2
-    continue
-  }
-  if run_attempt "$base"; then
-    echo "e2e_crash_recovery: PASS (port base $base)"
-    exit 0
-  fi
-  echo "e2e_crash_recovery: attempt on port base $base failed; retrying" >&2
-  cleanup
-  datadir=""
-done
+if run_with_port_retries e2e_crash_recovery \
+    "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3 run_attempt; then
+  exit 0
+fi
 echo "e2e_crash_recovery: FAIL"
 exit 1

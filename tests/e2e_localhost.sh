@@ -23,9 +23,9 @@ EPOCH_SIZE=40
 TAMPER=5          # every 5th client's ciphertext is flipped -> rejected
 MASTER_SEED=7
 
-# This script's port range: 21000-28999 (e2e_crash_recovery.sh uses
-# 31000-38999 and e2e_sharded.sh 41000-48999, so concurrent ctest runs
-# can never collide).
+# This script's port range: 21000-28999 (see the range map in
+# e2e_common.sh -- disjoint per consumer, so concurrent ctest runs can
+# never collide).
 PORT_RANGE_START=21000
 PORT_RANGE_SPAN=8000
 
@@ -40,13 +40,7 @@ LEGS=(
 )
 
 pids=()
-cleanup() {
-  for pid in "${pids[@]:-}"; do
-    kill "$pid" 2>/dev/null
-  done
-  wait 2>/dev/null
-}
-trap cleanup EXIT
+trap e2e_cleanup EXIT
 
 # run_attempt <port_base> <probe_flag_or_empty> <afe flag tokens...>
 run_attempt() {
@@ -94,22 +88,8 @@ for leg in "${LEGS[@]}"; do
   # probes with a different AFE identity first and expects the reject.
   [[ $leg_idx -eq 2 ]] && probe="--probe-wrong-spec"
 
-  ok=0
-  # Probed ports can still race an unrelated service; retry on a new base.
-  for attempt in 1 2; do
-    base=$(pick_port_base "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3) || {
-      echo "e2e_localhost[$leg]: no free port base found" >&2
-      continue
-    }
-    if run_attempt "$base" "$probe" "$@"; then
-      echo "e2e_localhost[$leg]: PASS (port base $base)"
-      ok=1
-      break
-    fi
-    echo "e2e_localhost[$leg]: attempt on port base $base failed; retrying" >&2
-    cleanup
-  done
-  if [[ $ok -ne 1 ]]; then
+  if ! run_with_port_retries "e2e_localhost[$leg]" \
+      "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3 run_attempt "$probe" "$@"; then
     echo "e2e_localhost: FAIL (leg: $leg)"
     exit 1
   fi

@@ -36,22 +36,15 @@ MASTER_SEED=11
 # byte-identical to previous releases of this script.
 PIPELINE_DEPTH=${PIPELINE_DEPTH:-1}
 
-# This script's port range: 41000-48999 (e2e_localhost.sh uses 21000-28999,
-# e2e_crash_recovery.sh 31000-38999; disjoint, so concurrent ctest runs of
-# the three can never collide).
+# This script's port range: 41000-48999 (see the range map in
+# e2e_common.sh -- disjoint per consumer, so concurrent ctest runs can
+# never collide).
 PORT_RANGE_START=41000
 PORT_RANGE_SPAN=8000
 
 pids=()
 datadir=""
-cleanup() {
-  for pid in "${pids[@]:-}"; do
-    kill "$pid" 2>/dev/null
-  done
-  wait 2>/dev/null
-  [[ -n "$datadir" ]] && rm -rf "$datadir"
-}
-trap cleanup EXIT
+trap e2e_cleanup EXIT
 
 run_attempt() {
   local base=$1
@@ -196,19 +189,9 @@ run_attempt() {
   return "$rc"
 }
 
-# Probed ports can still race an unrelated service; retry on a new base.
-for attempt in 1 2; do
-  base=$(pick_port_base "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3) || {
-    echo "e2e_sharded: no free port base found" >&2
-    continue
-  }
-  if run_attempt "$base"; then
-    echo "e2e_sharded: PASS (port base $base)"
-    exit 0
-  fi
-  echo "e2e_sharded: attempt on port base $base failed; retrying" >&2
-  cleanup
-  datadir=""
-done
+if run_with_port_retries e2e_sharded \
+    "$PORT_RANGE_START" "$PORT_RANGE_SPAN" 3 run_attempt; then
+  exit 0
+fi
 echo "e2e_sharded: FAIL"
 exit 1
